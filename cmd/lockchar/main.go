@@ -1,0 +1,59 @@
+// Command lockchar regenerates the paper's locking characterization: the
+// Figure 3 depth-of-nesting profile and the Table 1 synchronization
+// columns, by running every macro workload under an instrumented lock
+// implementation.
+//
+// Usage:
+//
+//	lockchar [-scale F] [-only name,name]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"thinlock/internal/bench"
+	"thinlock/internal/workloads"
+)
+
+func main() {
+	scale := flag.Float64("scale", 1, "workload size multiplier")
+	only := flag.String("only", "", "comma-separated workload subset")
+	flag.Parse()
+
+	var selected []workloads.Workload
+	if *only == "" {
+		selected = workloads.All()
+	} else {
+		for _, name := range strings.Split(*only, ",") {
+			w, ok := workloads.ByName(name)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "lockchar: unknown workload %q\n", name)
+				os.Exit(1)
+			}
+			selected = append(selected, w)
+		}
+	}
+
+	var rows []bench.Characterization
+	for _, w := range selected {
+		size := int(float64(w.DefaultSize) * *scale)
+		if size < 1 {
+			size = 1
+		}
+		c, err := bench.Characterize(w, size)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lockchar:", err)
+			os.Exit(1)
+		}
+		rows = append(rows, c)
+	}
+
+	fmt.Print(bench.FormatTable1(rows))
+	fmt.Println()
+	fmt.Print(bench.FormatFigure3(rows))
+	fmt.Println("\nPaper context: ≥45% of lock operations in every benchmark are on")
+	fmt.Println("unlocked objects (median 80%); no benchmark nests deeper than four.")
+}

@@ -1,0 +1,154 @@
+// Command macrobench regenerates the paper's macro-benchmark experiments:
+// the Table 1 characterization, the Figure 3 nesting profile, and the
+// Figure 5 speedup comparison across ThinLock, IBM112 and JDK111. The
+// -predict flag reproduces the §3.4 arithmetic cross-checking macro
+// speedups against micro-benchmark costs.
+//
+// Usage:
+//
+//	macrobench [-scale F] [-samples N] [-only name,name] [-table1] [-fig3] [-predict] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"thinlock/internal/bench"
+	"thinlock/internal/workloads"
+)
+
+func main() {
+	scale := flag.Float64("scale", 1, "workload size multiplier")
+	samples := flag.Int("samples", bench.Samples, "samples per measurement (median reported)")
+	only := flag.String("only", "", "comma-separated workload subset")
+	table1 := flag.Bool("table1", false, "print the Table 1 characterization and exit")
+	fig3 := flag.Bool("fig3", false, "print the Figure 3 nesting profile and exit")
+	predict := flag.Bool("predict", false, "run the §3.4 micro-to-macro prediction cross-check")
+	space := flag.Bool("space", false, "print the lock-storage footprint comparison and exit")
+	verbose := flag.Bool("v", false, "print progress")
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "macrobench:", err)
+		os.Exit(1)
+	}
+
+	if *table1 || *fig3 {
+		var rows []bench.Characterization
+		for _, w := range workloads.All() {
+			size := int(float64(w.DefaultSize) * *scale)
+			if size < 1 {
+				size = 1
+			}
+			c, err := bench.Characterize(w, size)
+			if err != nil {
+				fail(err)
+			}
+			rows = append(rows, c)
+		}
+		if *table1 {
+			fmt.Print(bench.FormatTable1(rows))
+		}
+		if *fig3 {
+			fmt.Print(bench.FormatFigure3(rows))
+		}
+		return
+	}
+
+	if *space {
+		results := make(map[string][]bench.SpaceRow)
+		var order []string
+		for _, w := range workloads.All() {
+			size := int(float64(w.DefaultSize) * *scale)
+			if size < 1 {
+				size = 1
+			}
+			rows, err := bench.SpaceUsage(w, size)
+			if err != nil {
+				fail(err)
+			}
+			results[w.Name] = rows
+			order = append(order, w.Name)
+		}
+		fmt.Print(bench.FormatSpace(results, order))
+		return
+	}
+
+	if *predict {
+		runPredict(*samples)
+		return
+	}
+
+	cfg := bench.DefaultFigure5Config()
+	cfg.SizeScale = *scale
+	cfg.Samples = *samples
+	if *only != "" {
+		cfg.Only = strings.Split(*only, ",")
+	}
+	var progress func(string)
+	if *verbose {
+		progress = func(s string) { fmt.Fprintln(os.Stderr, "running:", s) }
+	}
+	rs, err := bench.RunFigure5(cfg, progress)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Print(bench.FormatMacroTable(rs, "Figure 5 raw times"))
+	fmt.Println()
+	fmt.Print(bench.FormatSpeedups(rs, "JDK111", "Figure 5"))
+	medThin, maxThin := bench.MedianSpeedup(rs, "ThinLock", "JDK111")
+	medIBM, maxIBM := bench.MedianSpeedup(rs, "IBM112", "JDK111")
+	fmt.Printf("\nThinLock vs JDK111: median %.2fx, max %.2fx (paper: 1.22x / 1.7x)\n", medThin, maxThin)
+	fmt.Printf("IBM112   vs JDK111: median %.2fx, max %.2fx (paper: 1.04x / —)\n", medIBM, maxIBM)
+}
+
+// runPredict reproduces §3.4: predict a workload's absolute speedup from
+// the per-operation micro-benchmark cost difference times the workload's
+// synchronized-operation count, then compare against the measured
+// difference (the paper predicts 6.5s for javalex's 2.4M synchronized
+// calls and measures 6.6s).
+func runPredict(samples int) {
+	const microIters = 500_000
+	thin, _ := bench.Lookup(bench.StandardImpls(), "ThinLock")
+	jdk, _ := bench.Lookup(bench.StandardImpls(), "JDK111")
+
+	fastSync, err := bench.RunKernel(thin, "Sync", 0, microIters, samples)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "macrobench:", err)
+		os.Exit(1)
+	}
+	slowSync, err := bench.RunKernel(jdk, "Sync", 0, microIters, samples)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "macrobench:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("micro cost: Sync %s %.0f ns/op, %s %.0f ns/op\n",
+		fastSync.Impl, fastSync.NsPerOp(), slowSync.Impl, slowSync.NsPerOp())
+
+	for _, name := range []string{"javalex", "jax"} {
+		w, _ := workloads.ByName(name)
+		c, err := bench.Characterize(w, w.DefaultSize)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "macrobench:", err)
+			os.Exit(1)
+		}
+		predicted := bench.Predict(fastSync, slowSync, int64(c.Report.TotalSyncs))
+
+		rThin, _, err := bench.RunMacro(thin, w, w.DefaultSize, samples)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "macrobench:", err)
+			os.Exit(1)
+		}
+		rJDK, _, err := bench.RunMacro(jdk, w, w.DefaultSize, samples)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "macrobench:", err)
+			os.Exit(1)
+		}
+		measured := rJDK.Elapsed.Seconds() - rThin.Elapsed.Seconds()
+		fmt.Printf("%-10s %8d syncs: predicted saving %.3fs, measured %.3fs\n",
+			name, c.Report.TotalSyncs, predicted, measured)
+	}
+}

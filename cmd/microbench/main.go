@@ -1,0 +1,58 @@
+// Command microbench regenerates the paper's Table 2 micro-benchmark
+// suite and the Figure 4 comparison of ThinLock, IBM112 and JDK111.
+//
+// Usage:
+//
+//	microbench [-iters N] [-samples N] [-quick] [-list] [-v]
+//
+// -list prints the Table 2 benchmark definitions. Otherwise the full
+// kernel × implementation matrix is run and rendered as a table of ms
+// per million operations, followed by the speedups over JDK111.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"thinlock/internal/bench"
+)
+
+func main() {
+	iters := flag.Int64("iters", 1_000_000, "loop iterations per kernel")
+	samples := flag.Int("samples", bench.Samples, "samples per measurement (median reported)")
+	quick := flag.Bool("quick", false, "shrink iterations and samples for a fast run")
+	list := flag.Bool("list", false, "print the Table 2 benchmark definitions and exit")
+	verbose := flag.Bool("v", false, "print progress")
+	flag.Parse()
+
+	if *list {
+		fmt.Print(bench.FormatKernelList())
+		return
+	}
+
+	cfg := bench.DefaultFigure4Config()
+	cfg.Iters = *iters
+	cfg.Samples = *samples
+	if *quick {
+		cfg.Iters = 100_000
+		cfg.Samples = 3
+	}
+
+	var progress func(string)
+	if *verbose {
+		progress = func(s string) { fmt.Fprintln(os.Stderr, "running:", s) }
+	}
+
+	rs, err := bench.RunFigure4(cfg, progress)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "microbench:", err)
+		os.Exit(1)
+	}
+
+	fmt.Print(bench.FormatTable(rs, fmt.Sprintf(
+		"Figure 4: micro-benchmark performance (%d iterations, median of %d)",
+		cfg.Iters, cfg.Samples)))
+	fmt.Println()
+	fmt.Print(bench.FormatSpeedups(rs, "JDK111", "Figure 4 speedups"))
+}

@@ -1,0 +1,106 @@
+// Command thinlockc compiles a MiniJava source file to bytecode and runs
+// its main function on the VM under a chosen lock implementation.
+//
+// Usage:
+//
+//	thinlockc [-impl ThinLock|JDK111|IBM112] [-entry main] [-dis] file.mj
+//	thinlockc -e 'func main() { return 6 * 7; }'
+//
+// The program's result (main's return value) is printed, along with lock
+// statistics for the thin-lock implementation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"thinlock/internal/bench"
+	"thinlock/internal/core"
+	"thinlock/internal/minijava"
+	"thinlock/internal/object"
+	"thinlock/internal/threading"
+	"thinlock/internal/vm"
+)
+
+func main() {
+	impl := flag.String("impl", "ThinLock", "lock implementation: ThinLock, IBM112 or JDK111")
+	entry := flag.String("entry", "main", "function to run")
+	dis := flag.Bool("dis", false, "print the compiled bytecode")
+	format := flag.Bool("fmt", false, "pretty-print the parsed program and exit")
+	inline := flag.String("e", "", "compile this source text instead of a file")
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "thinlockc:", err)
+		os.Exit(1)
+	}
+
+	var src string
+	switch {
+	case *inline != "":
+		src = *inline
+	case flag.NArg() == 1:
+		data, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fail(err)
+		}
+		src = string(data)
+	default:
+		fmt.Fprintln(os.Stderr, "usage: thinlockc [flags] file.mj  (or -e 'source')")
+		os.Exit(2)
+	}
+
+	if *format {
+		ast, err := minijava.Parse(src)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(minijava.Format(ast))
+		return
+	}
+
+	prog, err := minijava.Compile(src)
+	if err != nil {
+		fail(err)
+	}
+	if *dis {
+		for _, m := range prog.Methods {
+			mod := ""
+			if m.Sync() {
+				mod = " synchronized"
+			}
+			fmt.Printf("method %s%s (args=%d locals=%d):\n%s",
+				m.QualifiedName(), mod, m.NumArgs, m.MaxLocals, vm.Disassemble(m.Code))
+			for _, h := range m.Handlers {
+				fmt.Printf("      handler [%d,%d) -> %d\n", h.StartPC, h.EndPC, h.HandlerPC)
+			}
+		}
+	}
+
+	f, ok := bench.Lookup(bench.StandardImpls(), *impl)
+	if !ok {
+		fail(fmt.Errorf("unknown implementation %q", *impl))
+	}
+	locker := f.New()
+	machine, err := vm.New(prog, locker, object.NewHeap())
+	if err != nil {
+		fail(err)
+	}
+	reg := threading.NewRegistry()
+	th, err := reg.Attach("main")
+	if err != nil {
+		fail(err)
+	}
+	res, err := machine.Run(th, *entry)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("%s = %d\n", *entry, res.I)
+	if tl, ok := locker.(*core.ThinLocks); ok {
+		s := tl.Stats()
+		if s.Inflations() > 0 || s.FatLocks > 0 {
+			fmt.Printf("thin-lock stats: inflations=%d fat locks=%d\n", s.Inflations(), s.FatLocks)
+		}
+	}
+}

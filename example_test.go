@@ -1,0 +1,109 @@
+package thinlock_test
+
+import (
+	"fmt"
+	"time"
+
+	"thinlock"
+)
+
+// The basic lifecycle: attach a thread, lock, nest, unlock.
+func Example() {
+	rt := thinlock.New()
+	main, _ := rt.AttachThread("main")
+	defer rt.DetachThread(main)
+
+	account := rt.NewObject("Account")
+	rt.Lock(main, account)
+	rt.Lock(main, account) // nested: a plain store, no atomic
+	fmt.Println("inflated while nested:", rt.Inflated(account))
+	_ = rt.Unlock(main, account)
+	_ = rt.Unlock(main, account)
+
+	// Output:
+	// inflated while nested: false
+}
+
+// Synchronized is the Java synchronized-block idiom.
+func ExampleRuntime_Synchronized() {
+	rt := thinlock.New()
+	main, _ := rt.AttachThread("main")
+	counter := rt.NewObject("Counter")
+
+	total := 0
+	for i := 0; i < 3; i++ {
+		rt.Synchronized(main, counter, func() { total++ })
+	}
+	fmt.Println("total:", total)
+
+	// Output:
+	// total: 3
+}
+
+// Wait and Notify implement condition synchronization; the first Wait
+// inflates the thin lock because waiting needs queues.
+func ExampleRuntime_Wait() {
+	rt := thinlock.New()
+	cond := rt.NewObject("Cond")
+
+	ready := make(chan struct{})
+	done, _ := rt.Go("waiter", func(t *thinlock.Thread) {
+		rt.Lock(t, cond)
+		close(ready)
+		notified, _ := rt.Wait(t, cond, 0)
+		fmt.Println("notified:", notified)
+		_ = rt.Unlock(t, cond)
+	})
+
+	<-ready
+	main, _ := rt.AttachThread("main")
+	for {
+		rt.Lock(main, cond)
+		_ = rt.Notify(main, cond)
+		_ = rt.Unlock(main, cond)
+		select {
+		case <-done:
+			fmt.Println("inflated by wait:", rt.Inflated(cond))
+			return
+		case <-time.After(time.Millisecond):
+		}
+	}
+
+	// Output:
+	// notified: true
+	// inflated by wait: true
+}
+
+// Baseline implementations are selected at construction.
+func ExampleWithImplementation() {
+	for _, impl := range []thinlock.Implementation{
+		thinlock.ThinLock, thinlock.JDK111, thinlock.IBM112,
+	} {
+		rt := thinlock.New(thinlock.WithImplementation(impl))
+		fmt.Println(rt.Name())
+	}
+
+	// Output:
+	// ThinLock
+	// JDK111
+	// IBM112
+}
+
+// WithStats records the Figure 3 characterization data.
+func ExampleWithStats() {
+	rt := thinlock.New(thinlock.WithStats())
+	main, _ := rt.AttachThread("main")
+	obj := rt.NewObject("X")
+
+	rt.Lock(main, obj)
+	rt.Lock(main, obj) // one nested acquisition
+	_ = rt.Unlock(main, obj)
+	_ = rt.Unlock(main, obj)
+
+	rep, _ := rt.LockStats()
+	fmt.Printf("total=%d first=%d second=%d\n",
+		rep.TotalSyncs, rep.ByDepth[0], rep.ByDepth[1])
+
+	// Output:
+	// total=2 first=1 second=1
+}

@@ -1,0 +1,122 @@
+// Boundedbuffer: the classic monitor example — a producer/consumer queue
+// built from Wait/Notify on a thinlock object, the Java idiom
+//
+//	synchronized (buf) { while (full) buf.wait(); ...; buf.notifyAll(); }
+//
+// Waiting requires queues, so the first Wait inflates the buffer's lock;
+// the example prints the inflation statistics to show it happened exactly
+// once.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"thinlock"
+)
+
+// boundedBuffer is a fixed-capacity queue guarded by one monitor.
+type boundedBuffer struct {
+	rt    *thinlock.Runtime
+	mon   *thinlock.Object
+	items []int
+	cap   int
+}
+
+func newBoundedBuffer(rt *thinlock.Runtime, capacity int) *boundedBuffer {
+	return &boundedBuffer{rt: rt, mon: rt.NewObject("BoundedBuffer"), cap: capacity}
+}
+
+// put blocks while the buffer is full.
+func (b *boundedBuffer) put(t *thinlock.Thread, x int) {
+	b.rt.Lock(t, b.mon)
+	defer func() {
+		if err := b.rt.Unlock(t, b.mon); err != nil {
+			log.Fatal(err)
+		}
+	}()
+	for len(b.items) == b.cap {
+		if _, err := b.rt.Wait(t, b.mon, 0); err != nil {
+			log.Fatal(err)
+		}
+	}
+	b.items = append(b.items, x)
+	if err := b.rt.NotifyAll(t, b.mon); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// take blocks while the buffer is empty.
+func (b *boundedBuffer) take(t *thinlock.Thread) int {
+	b.rt.Lock(t, b.mon)
+	defer func() {
+		if err := b.rt.Unlock(t, b.mon); err != nil {
+			log.Fatal(err)
+		}
+	}()
+	for len(b.items) == 0 {
+		if _, err := b.rt.Wait(t, b.mon, 0); err != nil {
+			log.Fatal(err)
+		}
+	}
+	x := b.items[0]
+	b.items = b.items[1:]
+	if err := b.rt.NotifyAll(t, b.mon); err != nil {
+		log.Fatal(err)
+	}
+	return x
+}
+
+func main() {
+	const (
+		producers = 3
+		consumers = 3
+		perTask   = 2000
+	)
+	rt := thinlock.New()
+	buf := newBoundedBuffer(rt, 8)
+
+	results := make(chan int, producers*perTask)
+	var done []<-chan struct{}
+
+	for p := 0; p < producers; p++ {
+		p := p
+		ch, err := rt.Go(fmt.Sprintf("producer-%d", p), func(t *thinlock.Thread) {
+			for i := 0; i < perTask; i++ {
+				buf.put(t, p*perTask+i)
+			}
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		done = append(done, ch)
+	}
+	for c := 0; c < consumers; c++ {
+		ch, err := rt.Go(fmt.Sprintf("consumer-%d", c), func(t *thinlock.Thread) {
+			for i := 0; i < producers*perTask/consumers; i++ {
+				results <- buf.take(t)
+			}
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		done = append(done, ch)
+	}
+	for _, ch := range done {
+		<-ch
+	}
+	close(results)
+
+	seen := make(map[int]bool)
+	for x := range results {
+		if seen[x] {
+			log.Fatalf("item %d consumed twice", x)
+		}
+		seen[x] = true
+	}
+	fmt.Printf("transferred %d items exactly once\n", len(seen))
+
+	s := rt.ThinLockStats()
+	fmt.Printf("buffer lock inflated: %v (wait-inflations=%d, contention-inflations=%d, fat locks=%d)\n",
+		rt.Inflated(buf.mon), s.InflationsWait, s.InflationsContention, s.FatLocks)
+}

@@ -1,0 +1,62 @@
+// Deadlockcheck: the lock-trace analyzer in action. Two worker threads
+// take a pair of accounts in opposite orders — the classic transfer
+// deadlock pattern. The run is kept sequential so it terminates, but the
+// trace analysis flags the lock-order inversion that would deadlock
+// under unlucky scheduling.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"thinlock"
+)
+
+func main() {
+	rt := thinlock.New(thinlock.WithTrace(0))
+
+	checking := rt.NewObject("Account:checking")
+	savings := rt.NewObject("Account:savings")
+	balances := map[*thinlock.Object]int{checking: 100, savings: 50}
+
+	transfer := func(t *thinlock.Thread, from, to *thinlock.Object, amount int) {
+		rt.Lock(t, from)
+		rt.Lock(t, to) // second lock while holding the first: an order edge
+		balances[from] -= amount
+		balances[to] += amount
+		if err := rt.Unlock(t, to); err != nil {
+			log.Fatal(err)
+		}
+		if err := rt.Unlock(t, from); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Sequential here, but these two call sites establish opposite
+	// acquisition orders — exactly what a reviewer should catch.
+	done1, err := rt.Go("teller-1", func(t *thinlock.Thread) {
+		transfer(t, checking, savings, 30)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	<-done1
+	done2, err := rt.Go("teller-2", func(t *thinlock.Thread) {
+		transfer(t, savings, checking, 10)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	<-done2
+
+	fmt.Printf("balances: checking=%d savings=%d\n", balances[checking], balances[savings])
+
+	rep, err := rt.TraceReport()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(rep)
+	if len(rep.Cycles) > 0 {
+		fmt.Println("=> take the accounts in a canonical order (e.g. by ID) to make this safe")
+	}
+}

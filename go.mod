@@ -1,0 +1,3 @@
+module thinlock
+
+go 1.22

@@ -1,0 +1,56 @@
+package bench
+
+import (
+	"thinlock/internal/core"
+	"thinlock/internal/hotlocks"
+	"thinlock/internal/lockapi"
+	"thinlock/internal/monitorcache"
+)
+
+// Factory names and constructs one lock implementation configuration.
+type Factory struct {
+	// Name is the label used in reports ("ThinLock", "JDK111", ...).
+	Name string
+	// New constructs a fresh instance; benchmarks never share state
+	// between runs.
+	New func() lockapi.Locker
+}
+
+// StandardImpls returns the three implementations compared throughout
+// the paper's evaluation (Figures 4 and 5): ThinLock, IBM112 and JDK111.
+func StandardImpls() []Factory {
+	return []Factory{
+		{Name: "ThinLock", New: func() lockapi.Locker { return core.NewDefault() }},
+		{Name: "IBM112", New: func() lockapi.Locker { return hotlocks.NewDefault() }},
+		{Name: "JDK111", New: func() lockapi.Locker { return monitorcache.NewDefault() }},
+	}
+}
+
+// VariantImpls returns the Figure 6 implementation-variant ladder, from
+// the NOP "speed of light" to the UnlkC&S pessimization, with the IBM112
+// reference the paper plots alongside them.
+func VariantImpls() []Factory {
+	mk := func(v core.Variant) func() lockapi.Locker {
+		return func() lockapi.Locker { return core.New(core.Options{Variant: v}) }
+	}
+	return []Factory{
+		{Name: "NOP", New: mk(core.VariantNOP)},
+		{Name: "Inline", New: mk(core.VariantInline)},
+		{Name: "FnCall", New: mk(core.VariantFnCall)},
+		{Name: "MP Sync", New: mk(core.VariantMPSync)},
+		{Name: "ThinLock", New: mk(core.VariantStandard)},
+		{Name: "KernelC&S", New: mk(core.VariantKernelCAS)},
+		{Name: "UnlkC&S", New: mk(core.VariantUnlockCAS)},
+		{Name: "IBM112", New: func() lockapi.Locker { return hotlocks.NewDefault() }},
+	}
+}
+
+// Lookup returns the named factory from fs, or false.
+func Lookup(fs []Factory, name string) (Factory, bool) {
+	for _, f := range fs {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return Factory{}, false
+}

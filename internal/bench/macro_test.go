@@ -1,0 +1,144 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"thinlock/internal/workloads"
+)
+
+func TestRunMacroProducesChecksumAndTiming(t *testing.T) {
+	w, ok := workloads.ByName("crema")
+	if !ok {
+		t.Fatal("crema missing")
+	}
+	f, _ := Lookup(StandardImpls(), "ThinLock")
+	r, sum, err := RunMacro(f, w, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum == 0 {
+		t.Error("zero checksum")
+	}
+	if r.Elapsed <= 0 || r.Benchmark != "crema" || r.Impl != "ThinLock" {
+		t.Errorf("bad result: %+v", r)
+	}
+}
+
+func TestCharacterizeProducesTable1Row(t *testing.T) {
+	w, _ := workloads.ByName("javalex")
+	c, err := Characterize(w, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Objects == 0 {
+		t.Error("no objects counted")
+	}
+	if c.Report.SyncedObjects == 0 || c.Report.TotalSyncs == 0 {
+		t.Error("no sync activity recorded")
+	}
+	// Table 1: "The number of synchronized objects is generally less
+	// than a tenth of the total number of objects created."
+	if float64(c.Report.SyncedObjects) >= float64(c.Objects) {
+		t.Errorf("synced objects %d >= objects %d", c.Report.SyncedObjects, c.Objects)
+	}
+	// Figure 3: the dominant bucket must be first locks.
+	if c.Report.DepthShare(0) < 0.45 {
+		t.Errorf("first-lock share = %.2f, paper floor is 0.45", c.Report.DepthShare(0))
+	}
+	// §3.2: nesting is very shallow (never more than four deep).
+	if c.Report.MaxDepth() > 4 {
+		t.Errorf("max nesting depth = %d, want <= 4", c.Report.MaxDepth())
+	}
+}
+
+func TestFigure3ShapeAcrossSuite(t *testing.T) {
+	// The paper's aggregate claims: at least 45% of locks in every
+	// benchmark are on unlocked objects; the median share is ~80%; no
+	// benchmark nests deeper than 4.
+	var shares []float64
+	for _, w := range workloads.All() {
+		c, err := Characterize(w, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		share := c.Report.DepthShare(0)
+		shares = append(shares, share)
+		if share < 0.45 {
+			t.Errorf("%s: first-lock share %.2f below the paper's 45%% floor", w.Name, share)
+		}
+		if c.Report.MaxDepth() > 4 {
+			t.Errorf("%s: nesting depth %d exceeds the paper's observed max of 4", w.Name, c.Report.MaxDepth())
+		}
+	}
+	// Median share should be high (paper: 80%). Allow slack but require
+	// a strong majority.
+	n := 0
+	for _, s := range shares {
+		if s >= 0.6 {
+			n++
+		}
+	}
+	if n < len(shares)/2 {
+		t.Errorf("fewer than half the workloads have >=60%% first locks: %v", shares)
+	}
+}
+
+func TestFormatTable1AndFigure3(t *testing.T) {
+	w, _ := workloads.ByName("crema")
+	c, err := Characterize(w, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1 := FormatTable1([]Characterization{c})
+	for _, want := range []string{"Table 1", "crema", "syncs/s.obj"} {
+		if !strings.Contains(t1, want) {
+			t.Errorf("Table 1 missing %q:\n%s", want, t1)
+		}
+	}
+	f3 := FormatFigure3([]Characterization{c})
+	for _, want := range []string{"Figure 3", "First", "crema"} {
+		if !strings.Contains(f3, want) {
+			t.Errorf("Figure 3 missing %q:\n%s", want, f3)
+		}
+	}
+}
+
+func TestRunFigure5SmokeAndChecksumAgreement(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the workload suite under three implementations")
+	}
+	cfg := Figure5Config{SizeScale: 0.05, Samples: 1, Only: []string{"crema", "jnet"}}
+	rs, err := RunFigure5(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Results) != 2*3 {
+		t.Errorf("results = %d, want 6", len(rs.Results))
+	}
+}
+
+func TestMedianSpeedup(t *testing.T) {
+	rs := &ResultSet{}
+	add := func(bench, impl string, ms int) {
+		rs.Add(Result{Benchmark: bench, Impl: impl,
+			Elapsed: time.Duration(ms) * time.Millisecond, Ops: 1})
+	}
+	add("a", "ThinLock", 100)
+	add("a", "JDK111", 150) // 1.5x
+	add("b", "ThinLock", 100)
+	add("b", "JDK111", 110) // 1.1x
+	add("c", "ThinLock", 100)
+	add("c", "JDK111", 120) // 1.2x
+	med, max := MedianSpeedup(rs, "ThinLock", "JDK111")
+	if med != 1.2 {
+		t.Errorf("median = %f, want 1.2", med)
+	}
+	if max != 1.5 {
+		t.Errorf("max = %f, want 1.5", max)
+	}
+	if m, x := MedianSpeedup(&ResultSet{}, "a", "b"); m != 0 || x != 0 {
+		t.Error("empty set speedups")
+	}
+}

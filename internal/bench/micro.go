@@ -1,0 +1,376 @@
+// Package bench implements the paper's benchmark harness: the Table 2
+// micro-benchmark kernels (as bytecode programs run on the internal VM,
+// as in the paper's instrumented interpreter), the implementation
+// factories compared in Figures 4 and 6, wall-clock measurement, and the
+// report formatters that regenerate the paper's tables and figures.
+package bench
+
+import (
+	"fmt"
+	"sync"
+
+	"thinlock/internal/lockapi"
+	"thinlock/internal/object"
+	"thinlock/internal/threading"
+	"thinlock/internal/vm"
+)
+
+// Micro hosts the Table 2 micro-benchmark kernels over one lock
+// implementation. Each kernel "runs a tight loop for a specified number
+// of iterations; inside the loop an integer variable is incremented. The
+// benchmarks differ in what occurs between the outer loop and the inner
+// variable update." (§3.3)
+type Micro struct {
+	vm     *vm.VM
+	locker lockapi.Locker
+	reg    *threading.Registry
+	main   *threading.Thread
+}
+
+// Kernel method names inside the Micro program.
+const (
+	kernelNoSync         = "noSync"
+	kernelSync           = "sync"
+	kernelNestedSync     = "nestedSync"
+	kernelMixedSync      = "mixedSync"
+	kernelMultiSync      = "multiSync"
+	kernelCall           = "call"
+	kernelCallSync       = "callSync"
+	kernelNestedCallSync = "nestedCallSync"
+)
+
+// NewMicro builds the kernel program and a VM over the given locker.
+func NewMicro(locker lockapi.Locker) (*Micro, error) {
+	prog := buildMicroProgram()
+	machine, err := vm.New(prog, locker, object.NewHeap())
+	if err != nil {
+		return nil, err
+	}
+	reg := threading.NewRegistry()
+	main, err := reg.Attach("bench-main")
+	if err != nil {
+		return nil, err
+	}
+	return &Micro{vm: machine, locker: locker, reg: reg, main: main}, nil
+}
+
+// Locker returns the implementation under test.
+func (m *Micro) Locker() lockapi.Locker { return m.locker }
+
+// buildMicroProgram assembles every kernel.
+func buildMicroProgram() *vm.Program {
+	p := vm.NewProgram()
+	target := &vm.Class{Name: "Target", NumFields: 1}
+	p.AddClass(target)
+
+	// Target.get: the plain method Call invokes. Mirrors a trivial
+	// accessor like BitSet.get without its synchronized block.
+	getIdx := p.AddMethod(&vm.Method{
+		Name: "get", Class: target, Flags: vm.FlagReturnsValue,
+		NumArgs: 1, MaxLocals: 1,
+		Code: vm.NewAsm().
+			Aload(0).GetField(0).
+			IReturn().
+			MustBuild(),
+	})
+
+	// Target.getSync: the synchronized accessor CallSync invokes.
+	getSyncIdx := p.AddMethod(&vm.Method{
+		Name: "getSync", Class: target, Flags: vm.FlagSync | vm.FlagReturnsValue,
+		NumArgs: 1, MaxLocals: 1,
+		Code: vm.NewAsm().
+			Aload(0).GetField(0).
+			IReturn().
+			MustBuild(),
+	})
+
+	// noSync(limit): reference loop. locals: 0=limit 1=i 2=x
+	p.AddMethod(&vm.Method{
+		Name: kernelNoSync, Flags: vm.FlagStatic | vm.FlagReturnsValue,
+		NumArgs: 1, MaxLocals: 3,
+		Code: vm.NewAsm().
+			Iconst(0).Istore(1).
+			Label("loop").
+			Iload(1).Iload(0).IfICmpGE("done").
+			Iinc(2, 1).
+			Iinc(1, 1).
+			Goto("loop").
+			Label("done").
+			Iload(2).IReturn().
+			MustBuild(),
+	})
+
+	// sync(obj, limit): synchronized block per iteration.
+	// locals: 0=obj 1=limit 2=i 3=x
+	p.AddMethod(&vm.Method{
+		Name: kernelSync, Flags: vm.FlagStatic | vm.FlagReturnsValue,
+		NumArgs: 2, MaxLocals: 4,
+		Code: vm.NewAsm().
+			Iconst(0).Istore(2).
+			Label("loop").
+			Iload(2).Iload(1).IfICmpGE("done").
+			Aload(0).MonitorEnter().
+			Iinc(3, 1).
+			Aload(0).MonitorExit().
+			Iinc(2, 1).
+			Goto("loop").
+			Label("done").
+			Iload(3).IReturn().
+			MustBuild(),
+	})
+
+	// nestedSync(obj, limit): "the object is locked outside of the
+	// loop, so that it measures the cost of nested locking (at level
+	// 1)".
+	p.AddMethod(&vm.Method{
+		Name: kernelNestedSync, Flags: vm.FlagStatic | vm.FlagReturnsValue,
+		NumArgs: 2, MaxLocals: 4,
+		Code: vm.NewAsm().
+			Aload(0).MonitorEnter().
+			Iconst(0).Istore(2).
+			Label("loop").
+			Iload(2).Iload(1).IfICmpGE("done").
+			Aload(0).MonitorEnter().
+			Iinc(3, 1).
+			Aload(0).MonitorExit().
+			Iinc(2, 1).
+			Goto("loop").
+			Label("done").
+			Aload(0).MonitorExit().
+			Iload(3).IReturn().
+			MustBuild(),
+	})
+
+	// mixedSync(obj, limit): "a cross between Sync and NestedSync — it
+	// performs three nested locks of the same object on every
+	// iteration" (§3.5).
+	p.AddMethod(&vm.Method{
+		Name: kernelMixedSync, Flags: vm.FlagStatic | vm.FlagReturnsValue,
+		NumArgs: 2, MaxLocals: 4,
+		Code: vm.NewAsm().
+			Iconst(0).Istore(2).
+			Label("loop").
+			Iload(2).Iload(1).IfICmpGE("done").
+			Aload(0).MonitorEnter().
+			Aload(0).MonitorEnter().
+			Aload(0).MonitorEnter().
+			Iinc(3, 1).
+			Aload(0).MonitorExit().
+			Aload(0).MonitorExit().
+			Aload(0).MonitorExit().
+			Iinc(2, 1).
+			Goto("loop").
+			Label("done").
+			Iload(3).IReturn().
+			MustBuild(),
+	})
+
+	// multiSync(arr, n, limit): "Like Sync, but synchronizes n objects
+	// every iteration. It is designed to simulate the effects of
+	// various working sets of locks."
+	// locals: 0=arr 1=n 2=limit 3=i 4=j 5=x 6=obj
+	p.AddMethod(&vm.Method{
+		Name: kernelMultiSync, Flags: vm.FlagStatic | vm.FlagReturnsValue,
+		NumArgs: 3, MaxLocals: 7,
+		Code: vm.NewAsm().
+			Iconst(0).Istore(3).
+			Label("outer").
+			Iload(3).Iload(2).IfICmpGE("done").
+			Iconst(0).Istore(4).
+			Label("inner").
+			Iload(4).Iload(1).IfICmpGE("next").
+			Aload(0).Iload(4).ALoadIdx().Astore(6).
+			Aload(6).MonitorEnter().
+			Iinc(5, 1).
+			Aload(6).MonitorExit().
+			Iinc(4, 1).
+			Goto("inner").
+			Label("next").
+			Iinc(3, 1).
+			Goto("outer").
+			Label("done").
+			Iload(5).IReturn().
+			MustBuild(),
+	})
+
+	// call(obj, limit): invokes the plain method — reference benchmark
+	// for the Call* pair.
+	p.AddMethod(&vm.Method{
+		Name: kernelCall, Flags: vm.FlagStatic | vm.FlagReturnsValue,
+		NumArgs: 2, MaxLocals: 4,
+		Code: vm.NewAsm().
+			Iconst(0).Istore(2).
+			Label("loop").
+			Iload(2).Iload(1).IfICmpGE("done").
+			Aload(0).Invoke(int32(getIdx)).Pop().
+			Iinc(2, 1).
+			Goto("loop").
+			Label("done").
+			Iload(3).IReturn().
+			MustBuild(),
+	})
+
+	// callSync(obj, limit): invokes the synchronized method.
+	p.AddMethod(&vm.Method{
+		Name: kernelCallSync, Flags: vm.FlagStatic | vm.FlagReturnsValue,
+		NumArgs: 2, MaxLocals: 4,
+		Code: vm.NewAsm().
+			Iconst(0).Istore(2).
+			Label("loop").
+			Iload(2).Iload(1).IfICmpGE("done").
+			Aload(0).Invoke(int32(getSyncIdx)).Pop().
+			Iinc(2, 1).
+			Goto("loop").
+			Label("done").
+			Iload(3).IReturn().
+			MustBuild(),
+	})
+
+	// nestedCallSync(obj, limit): holds the lock across the loop so each
+	// synchronized call is a nested acquisition.
+	p.AddMethod(&vm.Method{
+		Name: kernelNestedCallSync, Flags: vm.FlagStatic | vm.FlagReturnsValue,
+		NumArgs: 2, MaxLocals: 4,
+		Code: vm.NewAsm().
+			Aload(0).MonitorEnter().
+			Iconst(0).Istore(2).
+			Label("loop").
+			Iload(2).Iload(1).IfICmpGE("done").
+			Aload(0).Invoke(int32(getSyncIdx)).Pop().
+			Iinc(2, 1).
+			Goto("loop").
+			Label("done").
+			Aload(0).MonitorExit().
+			Iload(3).IReturn().
+			MustBuild(),
+	})
+
+	return p
+}
+
+// NoSync runs the reference loop.
+func (m *Micro) NoSync(iters int64) error {
+	_, err := m.vm.Run(m.main, kernelNoSync, vm.IntValue(iters))
+	return err
+}
+
+// Sync runs the initial-locking kernel on a fresh object.
+func (m *Micro) Sync(iters int64) error {
+	o, err := m.vm.NewInstance("Target")
+	if err != nil {
+		return err
+	}
+	return m.SyncOn(o, iters)
+}
+
+// SyncOn runs the initial-locking kernel on the given object (reusing an
+// object keeps a hot-locks implementation hot across calls).
+func (m *Micro) SyncOn(o *vm.Obj, iters int64) error {
+	_, err := m.vm.Run(m.main, kernelSync, vm.RefValue(o), vm.IntValue(iters))
+	return err
+}
+
+// NewTarget allocates a kernel object for reuse across runs.
+func (m *Micro) NewTarget() (*vm.Obj, error) { return m.vm.NewInstance("Target") }
+
+// NestedSync runs the nested-locking kernel.
+func (m *Micro) NestedSync(iters int64) error {
+	o, err := m.vm.NewInstance("Target")
+	if err != nil {
+		return err
+	}
+	_, err = m.vm.Run(m.main, kernelNestedSync, vm.RefValue(o), vm.IntValue(iters))
+	return err
+}
+
+// MixedSync runs the three-nested-locks kernel of §3.5.
+func (m *Micro) MixedSync(iters int64) error {
+	o, err := m.vm.NewInstance("Target")
+	if err != nil {
+		return err
+	}
+	_, err = m.vm.Run(m.main, kernelMixedSync, vm.RefValue(o), vm.IntValue(iters))
+	return err
+}
+
+// MultiSync synchronizes a working set of n objects every iteration,
+// performing iters lock operations in total.
+func (m *Micro) MultiSync(n int, iters int64) error {
+	arr := m.vm.NewArray(n)
+	for i := 0; i < n; i++ {
+		o, err := m.vm.NewInstance("Target")
+		if err != nil {
+			return err
+		}
+		arr.Fields[i] = vm.RefValue(o)
+	}
+	outer := iters / int64(n)
+	if outer == 0 {
+		outer = 1
+	}
+	_, err := m.vm.Run(m.main, kernelMultiSync,
+		vm.RefValue(arr), vm.IntValue(int64(n)), vm.IntValue(outer))
+	return err
+}
+
+// Call runs the plain-method-call reference kernel.
+func (m *Micro) Call(iters int64) error {
+	o, err := m.vm.NewInstance("Target")
+	if err != nil {
+		return err
+	}
+	_, err = m.vm.Run(m.main, kernelCall, vm.RefValue(o), vm.IntValue(iters))
+	return err
+}
+
+// CallSync runs the synchronized-method-call kernel.
+func (m *Micro) CallSync(iters int64) error {
+	o, err := m.vm.NewInstance("Target")
+	if err != nil {
+		return err
+	}
+	_, err = m.vm.Run(m.main, kernelCallSync, vm.RefValue(o), vm.IntValue(iters))
+	return err
+}
+
+// NestedCallSync runs the nested synchronized-method-call kernel.
+func (m *Micro) NestedCallSync(iters int64) error {
+	o, err := m.vm.NewInstance("Target")
+	if err != nil {
+		return err
+	}
+	_, err = m.vm.Run(m.main, kernelNestedCallSync, vm.RefValue(o), vm.IntValue(iters))
+	return err
+}
+
+// Threads spawns n threads that each run the Sync kernel itersPerThread
+// times on the same shared object: "Initial locking performed
+// concurrently by n competing threads" (Table 2). Under thin locks this
+// inflates the shared object's lock.
+func (m *Micro) Threads(n int, itersPerThread int64) error {
+	o, err := m.vm.NewInstance("Target")
+	if err != nil {
+		return err
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		th, err := m.reg.Attach(fmt.Sprintf("bench-%d", i))
+		if err != nil {
+			return err
+		}
+		wg.Add(1)
+		go func(i int, th *threading.Thread) {
+			defer wg.Done()
+			defer m.reg.Detach(th)
+			_, errs[i] = m.vm.Run(th, kernelSync, vm.RefValue(o), vm.IntValue(itersPerThread))
+		}(i, th)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

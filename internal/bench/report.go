@@ -1,0 +1,121 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// FormatTable renders a ResultSet as a fixed-width text table: one row
+// per benchmark, one column per implementation, values in ms per million
+// operations (the unit of the paper's Figure 4 bars).
+func FormatTable(rs *ResultSet, title string) string {
+	var b strings.Builder
+	impls := rs.Impls()
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-20s", "benchmark")
+	for _, impl := range impls {
+		fmt.Fprintf(&b, "%14s", impl)
+	}
+	b.WriteByte('\n')
+	b.WriteString(strings.Repeat("-", 20+14*len(impls)))
+	b.WriteByte('\n')
+	for _, key := range rs.Benchmarks() {
+		fmt.Fprintf(&b, "%-20s", key.Key())
+		for _, impl := range impls {
+			if r, ok := rs.Get(key.Benchmark, impl, key.Param); ok {
+				fmt.Fprintf(&b, "%14.1f", r.MsPerMillion())
+			} else {
+				fmt.Fprintf(&b, "%14s", "-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("(ms per 10^6 operations; lower is better)\n")
+	return b.String()
+}
+
+// FormatMacroTable renders whole-run results (Ops == 1) in milliseconds
+// per run.
+func FormatMacroTable(rs *ResultSet, title string) string {
+	var b strings.Builder
+	impls := rs.Impls()
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-20s", "benchmark")
+	for _, impl := range impls {
+		fmt.Fprintf(&b, "%14s", impl)
+	}
+	b.WriteByte('\n')
+	b.WriteString(strings.Repeat("-", 20+14*len(impls)))
+	b.WriteByte('\n')
+	for _, key := range rs.Benchmarks() {
+		fmt.Fprintf(&b, "%-20s", key.Key())
+		for _, impl := range impls {
+			if r, ok := rs.Get(key.Benchmark, impl, key.Param); ok {
+				fmt.Fprintf(&b, "%14.1f", float64(r.Elapsed.Microseconds())/1000)
+			} else {
+				fmt.Fprintf(&b, "%14s", "-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("(ms per run; lower is better)\n")
+	return b.String()
+}
+
+// FormatSpeedups renders each implementation's speedup over the named
+// baseline, the form of the paper's Figure 5 bars (speedup over JDK111).
+func FormatSpeedups(rs *ResultSet, baseline, title string) string {
+	var b strings.Builder
+	impls := rs.Impls()
+	fmt.Fprintf(&b, "%s (speedup over %s; >1 is faster)\n", title, baseline)
+	fmt.Fprintf(&b, "%-20s", "benchmark")
+	for _, impl := range impls {
+		if impl == baseline {
+			continue
+		}
+		fmt.Fprintf(&b, "%14s", impl)
+	}
+	b.WriteByte('\n')
+	for _, key := range rs.Benchmarks() {
+		base, ok := rs.Get(key.Benchmark, baseline, key.Param)
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(&b, "%-20s", key.Key())
+		for _, impl := range impls {
+			if impl == baseline {
+				continue
+			}
+			if r, ok := rs.Get(key.Benchmark, impl, key.Param); ok {
+				fmt.Fprintf(&b, "%13.2fx", r.Speedup(base))
+			} else {
+				fmt.Fprintf(&b, "%14s", "-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// FormatKernelList renders Table 2.
+func FormatKernelList() string {
+	var b strings.Builder
+	b.WriteString("Table 2: Micro-Benchmarks\n")
+	for _, k := range Kernels() {
+		name := k.Name
+		if k.Swept {
+			name += " n"
+		}
+		fmt.Fprintf(&b, "  %-16s %s\n", name, k.Description)
+	}
+	return b.String()
+}
+
+// Predict implements the paper's §3.4 cross-check: from a micro-benchmark
+// cost difference and an operation count, predict the absolute time saved
+// on a macro run. The paper predicts 6.5s of javalex speedup from 2.4M
+// synchronized calls at 2.7s per million, against 6.6s measured.
+func Predict(fast, slow Result, operations int64) float64 {
+	perOpNs := slow.NsPerOp() - fast.NsPerOp()
+	return perOpNs * float64(operations) / 1e9 // seconds
+}

@@ -1,0 +1,66 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"thinlock/internal/workloads"
+)
+
+func TestSpaceUsageShape(t *testing.T) {
+	// crema churns many short-lived synchronized containers — the case
+	// the paper's space argument targets.
+	w, ok := workloads.ByName("crema")
+	if !ok {
+		t.Fatal("crema missing")
+	}
+	rows, err := SpaceUsage(w, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	byImpl := make(map[string]SpaceRow)
+	for _, r := range rows {
+		byImpl[r.Impl] = r
+	}
+
+	thin := byImpl["ThinLock"]
+	jdk := byImpl["JDK111"]
+	ibm := byImpl["IBM112"]
+
+	// Single-threaded: thin locks never inflate, so zero dedicated
+	// storage — the paper's headline space result.
+	if thin.Structures != 0 || thin.Bytes != 0 {
+		t.Errorf("ThinLock used %d structures / %d bytes, want 0/0", thin.Structures, thin.Bytes)
+	}
+	// The baselines must hold real monitor populations.
+	if jdk.Bytes == 0 || ibm.Bytes == 0 {
+		t.Errorf("baseline footprints are zero: jdk=%d ibm=%d", jdk.Bytes, ibm.Bytes)
+	}
+	if thin.Bytes >= jdk.Bytes || thin.Bytes >= ibm.Bytes {
+		t.Errorf("thin locks do not save space: thin=%d jdk=%d ibm=%d",
+			thin.Bytes, jdk.Bytes, ibm.Bytes)
+	}
+	// All three saw the same workload.
+	if thin.SyncedObjects == 0 || thin.SyncedObjects != jdk.SyncedObjects ||
+		jdk.SyncedObjects != ibm.SyncedObjects {
+		t.Errorf("synced-object counts diverge: %d/%d/%d",
+			thin.SyncedObjects, jdk.SyncedObjects, ibm.SyncedObjects)
+	}
+}
+
+func TestFormatSpace(t *testing.T) {
+	w, _ := workloads.ByName("jnet")
+	rows, err := SpaceUsage(w, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := FormatSpace(map[string][]SpaceRow{"jnet": rows}, []string{"jnet"})
+	for _, want := range []string{"jnet", "ThinLock", "JDK111", "IBM112", "bytes"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

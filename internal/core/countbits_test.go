@@ -1,0 +1,82 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestCountBitsAblation exercises the §3.2 ablation: with a k-bit count
+// field, 2^k nested locks stay thin and the (2^k+1)-th inflates.
+func TestCountBitsAblation(t *testing.T) {
+	for _, bits := range []int{1, 2, 3, 8} {
+		bits := bits
+		t.Run(fmt.Sprintf("bits=%d", bits), func(t *testing.T) {
+			f := newFixture(t, Options{CountBits: bits})
+			th := f.thread(t)
+			o := f.heap.New("X")
+			thinMax := 1 << bits
+
+			for i := 0; i < thinMax; i++ {
+				f.l.Lock(th, o)
+				if IsInflated(o.Header()) {
+					t.Fatalf("inflated at %d locks; %d should stay thin", i+1, thinMax)
+				}
+			}
+			if got := ThinCount(o.Header()); got != uint32(thinMax-1) {
+				t.Fatalf("count = %d at saturation, want %d", got, thinMax-1)
+			}
+
+			f.l.Lock(th, o) // overflow
+			if !IsInflated(o.Header()) {
+				t.Fatalf("lock %d did not inflate", thinMax+1)
+			}
+			if got := f.l.Monitor(o).Count(); got != uint32(thinMax+1) {
+				t.Fatalf("fat count = %d, want %d", got, thinMax+1)
+			}
+			if s := f.l.Stats(); s.InflationsOverflow != 1 {
+				t.Fatalf("InflationsOverflow = %d", s.InflationsOverflow)
+			}
+			for i := 0; i < thinMax+1; i++ {
+				if err := f.l.Unlock(th, o); err != nil {
+					t.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestCountBitsDefault confirms 0 and out-of-range values select the
+// paper's 8-bit field.
+func TestCountBitsDefault(t *testing.T) {
+	for _, bits := range []int{0, -1, 9, 100} {
+		l := New(Options{CountBits: bits})
+		if l.maxCount != 255 {
+			t.Errorf("CountBits=%d: maxCount = %d, want 255", bits, l.maxCount)
+		}
+	}
+}
+
+// TestCountBitsNeverOverflowsOnShallowWorkload checks the paper's claim
+// that 2 bits suffice for real programs: a workload nesting at most 3
+// deep must never trigger an overflow inflation even with CountBits=2.
+func TestCountBitsNeverOverflowsOnShallowWorkload(t *testing.T) {
+	f := newFixture(t, Options{CountBits: 2})
+	th := f.thread(t)
+	for i := 0; i < 200; i++ {
+		o := f.heap.New("X")
+		// Nest to 3 (like Stack.Pop -> Peek -> LastElement) repeatedly.
+		for rep := 0; rep < 5; rep++ {
+			f.l.Lock(th, o)
+			f.l.Lock(th, o)
+			f.l.Lock(th, o)
+			for u := 0; u < 3; u++ {
+				if err := f.l.Unlock(th, o); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	if s := f.l.Stats(); s.InflationsOverflow != 0 {
+		t.Fatalf("shallow nesting overflowed a 2-bit count %d times", s.InflationsOverflow)
+	}
+}

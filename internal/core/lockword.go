@@ -1,0 +1,94 @@
+// Package core implements thin locks, the paper's primary contribution.
+//
+// The 24 high bits of each object's header word form the lock field
+// (Figure 1). The first bit is the monitor shape bit: 0 for a thin lock,
+// 1 for an inflated (fat) lock. A thin lock holds a 15-bit owner thread
+// index and an 8-bit nested lock count storing (locks − 1); thread index
+// 0 with count 0 means unlocked. An inflated lock holds a 23-bit index
+// into the global monitor table. The low 8 bits of the word are
+// miscellaneous header data that are constant while the object may be
+// locked, so lock-field updates can rewrite the whole word.
+//
+// The protocol's costs are asymmetric by design (§2.3): the only atomic
+// operation is the compare-and-swap on initial acquisition. Nested
+// locking, nested unlocking and final unlocking are plain loads and
+// stores, justified by the locking discipline that no thread other than
+// the owner ever writes the lock word of a thin-locked object.
+package core
+
+import "thinlock/internal/threading"
+
+// Lock word layout. Bit 31 is the monitor shape bit; bits 30..16 hold the
+// thread index of a thin lock; bits 15..8 hold the thin nested count;
+// bits 30..8 hold the monitor index of an inflated lock; bits 7..0 are
+// the miscellaneous (non-lock) header bits.
+const (
+	// ShapeBit distinguishes thin (0) from inflated (1) lock words.
+	ShapeBit uint32 = 1 << 31
+
+	// IndexShift positions the owner thread index.
+	IndexShift = threading.IndexShift // 16
+
+	// TIDMask selects the thread-index bits of a thin lock word.
+	TIDMask uint32 = 0x7FFF << IndexShift
+
+	// CountShift positions the thin nested lock count.
+	CountShift = 8
+
+	// CountUnit is the value added to the lock word to increment the
+	// nested count by one.
+	CountUnit uint32 = 1 << CountShift
+
+	// CountMask selects the thin count bits.
+	CountMask uint32 = 0xFF << CountShift
+
+	// MiscMask selects the non-lock header bits.
+	MiscMask uint32 = 0xFF
+
+	// MaxThinCount is the largest encodable thin count. Since the count
+	// stores (locks − 1), a thin lock supports 256 nested locks; the
+	// 257th acquisition overflows and inflates (§2.3: "in our
+	// implementation, we define excessive as 257").
+	MaxThinCount = 255
+
+	// nestedCheckLimit is the bound used by the nested-locking check:
+	// after XORing the loaded word with the owner's pre-shifted thread
+	// index, any value below 255<<8 means "thin, owned by this thread,
+	// count < 255" (§2.3.3). The misc bits pass through the XOR
+	// untouched and always stay below the limit.
+	nestedCheckLimit = uint32(MaxThinCount) << CountShift
+
+	// FatIndexShift positions the monitor index of an inflated word.
+	FatIndexShift = 8
+
+	// FatIndexMask selects the monitor-index bits of an inflated word.
+	FatIndexMask uint32 = 0x7FFFFF << FatIndexShift
+)
+
+// IsInflated reports whether w is an inflated lock word.
+func IsInflated(w uint32) bool { return w&ShapeBit != 0 }
+
+// IsUnlocked reports whether w is a thin, unlocked word.
+func IsUnlocked(w uint32) bool { return w&^MiscMask == 0 }
+
+// ThinOwner returns the owner thread index of a thin lock word (0 if
+// unlocked). Meaningless for inflated words.
+func ThinOwner(w uint32) uint16 { return uint16((w & TIDMask) >> IndexShift) }
+
+// ThinCount returns the encoded nested count of a thin lock word, which
+// is the number of locks minus one.
+func ThinCount(w uint32) uint32 { return (w & CountMask) >> CountShift }
+
+// FatIndex returns the monitor index of an inflated lock word.
+func FatIndex(w uint32) uint32 { return (w & FatIndexMask) >> FatIndexShift }
+
+// ThinWord assembles a thin lock word.
+func ThinWord(owner uint16, count uint32, misc uint32) uint32 {
+	return uint32(owner)<<IndexShift | count<<CountShift | misc&MiscMask
+}
+
+// InflatedWord assembles an inflated lock word referring to monitor index
+// idx.
+func InflatedWord(idx uint32, misc uint32) uint32 {
+	return ShapeBit | idx<<FatIndexShift | misc&MiscMask
+}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestThinWordRoundTrip(t *testing.T) {
+	prop := func(owner uint16, count uint8, misc uint8) bool {
+		owner &= 0x7FFF
+		w := ThinWord(owner, uint32(count), uint32(misc))
+		return !IsInflated(w) &&
+			ThinOwner(w) == owner &&
+			ThinCount(w) == uint32(count) &&
+			w&MiscMask == uint32(misc)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInflatedWordRoundTrip(t *testing.T) {
+	prop := func(idx uint32, misc uint8) bool {
+		idx &= 0x7FFFFF
+		w := InflatedWord(idx, uint32(misc))
+		return IsInflated(w) &&
+			FatIndex(w) == idx &&
+			w&MiscMask == uint32(misc)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIsUnlocked(t *testing.T) {
+	if !IsUnlocked(0) {
+		t.Error("0 should be unlocked")
+	}
+	if !IsUnlocked(0xA5) {
+		t.Error("pure misc bits should be unlocked")
+	}
+	if IsUnlocked(ThinWord(3, 0, 0xA5)) {
+		t.Error("owned word reported unlocked")
+	}
+	if IsUnlocked(InflatedWord(1, 0)) {
+		t.Error("inflated word reported unlocked")
+	}
+}
+
+// TestFigure1Encodings checks the concrete lock words of Figure 1 of the
+// paper: (c) unlocked, (d) locked once by thread A, (e) locked twice.
+func TestFigure1Encodings(t *testing.T) {
+	const misc = uint32(0x2A)
+	const threadA = uint16(5)
+
+	unlocked := ThinWord(0, 0, misc)
+	if unlocked != misc {
+		t.Errorf("unlocked word = %#x, want misc bits only %#x", unlocked, misc)
+	}
+
+	once := ThinWord(threadA, 0, misc)
+	if want := uint32(threadA)<<16 | misc; once != want {
+		t.Errorf("locked-once word = %#x, want %#x", once, want)
+	}
+	// The paper constructs it as old | (index pre-shifted by 16).
+	if once != unlocked|uint32(threadA)<<IndexShift {
+		t.Error("locked-once word is not old|shifted as in §2.3.1")
+	}
+
+	twice := ThinWord(threadA, 1, misc)
+	// §2.3.3: the count is incremented "by adding 256 to the lock word".
+	if twice != once+CountUnit {
+		t.Errorf("locked-twice word = %#x, want once+%#x", twice, CountUnit)
+	}
+	if ThinCount(twice) != 1 {
+		t.Errorf("count = %d for a doubly-locked object, want 1 (locks minus one)", ThinCount(twice))
+	}
+}
+
+// TestNestedCheckXORTrick verifies the §2.3.3 fast nested-lock test:
+// XOR the lock word with the pre-shifted thread index; any result below
+// 255<<8 means thin + owned-by-us + count<255, for every misc value.
+func TestNestedCheckXORTrick(t *testing.T) {
+	prop := func(owner uint16, count uint8, misc uint8, otherOwner uint16) bool {
+		owner = owner&0x7FFF | 1 // nonzero
+		otherOwner &= 0x7FFF
+		shifted := uint32(owner) << IndexShift
+
+		w := ThinWord(owner, uint32(count), uint32(misc))
+		ours := w ^ shifted
+		if count < 255 {
+			if ours >= nestedCheckLimit {
+				return false // false negative
+			}
+		} else if ours < nestedCheckLimit {
+			return false // count saturated must fail the check
+		}
+
+		if otherOwner != owner {
+			other := ThinWord(otherOwner, uint32(count), uint32(misc))
+			if otherOwner != 0 && other^shifted < nestedCheckLimit {
+				return false // false positive on foreign owner
+			}
+		}
+
+		fat := InflatedWord(uint32(owner)<<7, uint32(misc))
+		return fat^shifted >= nestedCheckLimit // fat words must fail
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLockFieldIs24Bits verifies no encoding touches the misc byte.
+func TestLockFieldIs24Bits(t *testing.T) {
+	if ShapeBit|TIDMask|CountMask != 0xFFFFFF00 {
+		t.Errorf("thin fields cover %#x, want high 24 bits", ShapeBit|TIDMask|CountMask)
+	}
+	if ShapeBit&TIDMask != 0 || TIDMask&CountMask != 0 || CountMask&MiscMask != 0 {
+		t.Error("lock word fields overlap")
+	}
+	if ShapeBit|FatIndexMask != 0xFFFFFF00 {
+		t.Errorf("fat fields cover %#x, want high 24 bits", ShapeBit|FatIndexMask)
+	}
+}
+
+func TestVariantStrings(t *testing.T) {
+	want := map[Variant]string{
+		VariantStandard:  "ThinLock",
+		VariantInline:    "Inline",
+		VariantFnCall:    "FnCall",
+		VariantMPSync:    "MP Sync",
+		VariantKernelCAS: "KernelC&S",
+		VariantUnlockCAS: "UnlkC&S",
+		VariantNOP:       "NOP",
+		Variant(42):      "unknown-variant",
+	}
+	for v, s := range want {
+		if v.String() != s {
+			t.Errorf("Variant(%d).String() = %q, want %q", v, v.String(), s)
+		}
+	}
+}

@@ -1,0 +1,43 @@
+// Package jcl is a miniature "Java class library": the thread-safe
+// container classes whose synchronized methods dominate the paper's
+// macro-benchmarks. "The most commonly used public methods of standard
+// utility classes like Vector and Hashtable are synchronized. When these
+// classes are used by single-threaded programs ... there is substantial
+// performance degradation in the absence of any true concurrency" (§1).
+//
+// Every public method of every class here locks the receiving object
+// through a pluggable lock implementation, exactly as javac or javalex
+// paid a monitorenter/monitorexit pair per Vector.elementAt call. The
+// macro workloads in internal/workloads are written against this package,
+// which is what lets a single workload be timed under ThinLock, JDK111
+// and IBM112.
+package jcl
+
+import (
+	"thinlock/internal/lockapi"
+	"thinlock/internal/object"
+	"thinlock/internal/threading"
+)
+
+// Context binds the class library to a heap and a lock implementation.
+type Context struct {
+	locker lockapi.Locker
+	heap   *object.Heap
+}
+
+// NewContext returns a class-library context using the given locker and
+// heap.
+func NewContext(l lockapi.Locker, h *object.Heap) *Context {
+	return &Context{locker: l, heap: h}
+}
+
+// Locker returns the context's lock implementation.
+func (c *Context) Locker() lockapi.Locker { return c.locker }
+
+// Heap returns the context's heap.
+func (c *Context) Heap() *object.Heap { return c.heap }
+
+// synchronized runs fn holding o's monitor, Java-style.
+func (c *Context) synchronized(t *threading.Thread, o *object.Object, fn func()) {
+	lockapi.Synchronized(c.locker, t, o, fn)
+}

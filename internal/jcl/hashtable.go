@@ -1,0 +1,122 @@
+package jcl
+
+import (
+	"thinlock/internal/object"
+	"thinlock/internal/threading"
+)
+
+// Hashtable is java.util.Hashtable: a synchronized map. Keys must be Go
+// comparables (strings and integers in our workloads, mirroring Java's
+// String and Integer keys).
+type Hashtable struct {
+	ctx       *Context
+	obj       *object.Object
+	m         map[any]any
+	threshold int
+}
+
+// NewHashtable allocates an empty Hashtable.
+func (c *Context) NewHashtable() *Hashtable {
+	return &Hashtable{
+		ctx:       c,
+		obj:       c.heap.New("Hashtable"),
+		m:         make(map[any]any),
+		threshold: 8, // initial capacity × load factor, as in JDK 1.1
+	}
+}
+
+// Object returns the Hashtable's lockable identity.
+func (h *Hashtable) Object() *object.Object { return h.obj }
+
+// Put associates value with key, returning the previous value or nil.
+// Synchronized; when the table outgrows its threshold Put calls the
+// synchronized Rehash from inside its own region, a nested lock as in
+// JDK 1.1.
+func (h *Hashtable) Put(t *threading.Thread, key, value any) any {
+	var prev any
+	h.ctx.synchronized(t, h.obj, func() {
+		if len(h.m) >= h.threshold {
+			h.Rehash(t)
+		}
+		prev = h.m[key]
+		h.m[key] = value
+	})
+	return prev
+}
+
+// Rehash doubles the table's capacity. Synchronized (normally entered
+// nested, from Put). Go's map grows itself, so the model only rebuilds
+// the map to charge the traversal and advance the threshold.
+func (h *Hashtable) Rehash(t *threading.Thread) {
+	h.ctx.synchronized(t, h.obj, func() {
+		grown := make(map[any]any, 2*len(h.m))
+		for k, v := range h.m {
+			grown[k] = v
+		}
+		h.m = grown
+		h.threshold *= 2
+	})
+}
+
+// Get returns the value for key, or nil. Synchronized.
+func (h *Hashtable) Get(t *threading.Thread, key any) any {
+	var v any
+	h.ctx.synchronized(t, h.obj, func() {
+		v = h.m[key]
+	})
+	return v
+}
+
+// Remove deletes key's mapping, returning the removed value or nil.
+// Synchronized.
+func (h *Hashtable) Remove(t *threading.Thread, key any) any {
+	var prev any
+	h.ctx.synchronized(t, h.obj, func() {
+		prev = h.m[key]
+		delete(h.m, key)
+	})
+	return prev
+}
+
+// ContainsKey reports whether key has a mapping. Synchronized.
+func (h *Hashtable) ContainsKey(t *threading.Thread, key any) bool {
+	var ok bool
+	h.ctx.synchronized(t, h.obj, func() {
+		_, ok = h.m[key]
+	})
+	return ok
+}
+
+// Size returns the number of mappings. Synchronized.
+func (h *Hashtable) Size(t *threading.Thread) int {
+	var n int
+	h.ctx.synchronized(t, h.obj, func() {
+		n = len(h.m)
+	})
+	return n
+}
+
+// IsEmpty reports whether the table is empty. Synchronized.
+func (h *Hashtable) IsEmpty(t *threading.Thread) bool {
+	return h.Size(t) == 0
+}
+
+// Clear removes every mapping. Synchronized.
+func (h *Hashtable) Clear(t *threading.Thread) {
+	h.ctx.synchronized(t, h.obj, func() {
+		clear(h.m)
+	})
+}
+
+// Keys returns a snapshot of the keys (Java returns an Enumeration; a
+// slice keeps the workload code simple). Synchronized.
+func (h *Hashtable) Keys(t *threading.Thread) []any {
+	var keys []any
+	h.ctx.synchronized(t, h.obj, func() {
+		keys = make([]any, 0, len(h.m))
+		for k := range h.m {
+			keys = append(keys, k)
+		}
+	})
+	return keys
+}

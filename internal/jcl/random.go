@@ -1,0 +1,71 @@
+package jcl
+
+import (
+	"thinlock/internal/object"
+	"thinlock/internal/threading"
+)
+
+// Random is java.util.Random as of JDK 1.1: a 48-bit linear congruential
+// generator whose next method is synchronized.
+type Random struct {
+	ctx  *Context
+	obj  *object.Object
+	seed int64
+}
+
+const (
+	randMultiplier = 0x5DEECE66D
+	randAddend     = 0xB
+	randMask       = 1<<48 - 1
+)
+
+// NewRandom allocates a generator with the given seed.
+func (c *Context) NewRandom(seed int64) *Random {
+	return &Random{
+		ctx:  c,
+		obj:  c.heap.New("Random"),
+		seed: (seed ^ randMultiplier) & randMask,
+	}
+}
+
+// Object returns the generator's lockable identity.
+func (r *Random) Object() *object.Object { return r.obj }
+
+// next returns the top bits of the next LCG state. Synchronized, as in
+// JDK 1.1.
+func (r *Random) next(t *threading.Thread, bits uint) int32 {
+	var out int32
+	r.ctx.synchronized(t, r.obj, func() {
+		r.seed = (r.seed*randMultiplier + randAddend) & randMask
+		out = int32(r.seed >> (48 - bits))
+	})
+	return out
+}
+
+// NextInt returns a uniformly distributed int32. Synchronized.
+func (r *Random) NextInt(t *threading.Thread) int32 {
+	return r.next(t, 32)
+}
+
+// NextIntN returns a uniformly distributed value in [0, n). Synchronized
+// per next call, following Java's rejection algorithm.
+func (r *Random) NextIntN(t *threading.Thread, n int32) int32 {
+	if n <= 0 {
+		panic("jcl: NextIntN bound must be positive")
+	}
+	if n&-n == n { // power of two
+		return int32((int64(n) * int64(r.next(t, 31))) >> 31)
+	}
+	for {
+		bits := r.next(t, 31)
+		val := bits % n
+		if bits-val+(n-1) >= 0 {
+			return val
+		}
+	}
+}
+
+// NextFloat returns a uniform value in [0, 1). Synchronized.
+func (r *Random) NextFloat(t *threading.Thread) float32 {
+	return float32(r.next(t, 24)) / (1 << 24)
+}

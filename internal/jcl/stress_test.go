@@ -1,0 +1,272 @@
+package jcl
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"thinlock/internal/core"
+	"thinlock/internal/object"
+	"thinlock/internal/threading"
+)
+
+// TestVectorMatchesSliceModel drives random operation sequences against
+// both a Vector and a plain Go slice model; every observation must agree.
+func TestVectorMatchesSliceModel(t *testing.T) {
+	prop := func(ops []uint16) bool {
+		ctx := NewContext(core.NewDefault(), object.NewHeap())
+		reg := threading.NewRegistry()
+		th, err := reg.Attach("p")
+		if err != nil {
+			return false
+		}
+		v := ctx.NewVector()
+		var model []any
+
+		for _, raw := range ops {
+			op := int(raw % 8)
+			arg := int(raw / 8)
+			switch op {
+			case 0: // add
+				v.AddElement(th, arg)
+				model = append(model, arg)
+			case 1: // elementAt
+				if len(model) == 0 {
+					continue
+				}
+				i := arg % len(model)
+				if v.ElementAt(th, i) != model[i] {
+					return false
+				}
+			case 2: // setElementAt
+				if len(model) == 0 {
+					continue
+				}
+				i := arg % len(model)
+				v.SetElementAt(th, arg, i)
+				model[i] = arg
+			case 3: // removeElementAt
+				if len(model) == 0 {
+					continue
+				}
+				i := arg % len(model)
+				v.RemoveElementAt(th, i)
+				model = append(model[:i], model[i+1:]...)
+			case 4: // insertElementAt
+				i := 0
+				if len(model) > 0 {
+					i = arg % len(model)
+				}
+				v.InsertElementAt(th, arg, i)
+				model = append(model, nil)
+				copy(model[i+1:], model[i:])
+				model[i] = arg
+			case 5: // indexOf
+				want := -1
+				for i, x := range model {
+					if x == arg {
+						want = i
+						break
+					}
+				}
+				if v.IndexOf(th, arg) != want {
+					return false
+				}
+			case 6: // removeElement
+				want := false
+				for i, x := range model {
+					if x == arg {
+						model = append(model[:i], model[i+1:]...)
+						want = true
+						break
+					}
+				}
+				if v.RemoveElement(th, arg) != want {
+					return false
+				}
+			case 7: // size
+				if v.Size(th) != len(model) {
+					return false
+				}
+			}
+		}
+		// Final full comparison.
+		if v.Size(th) != len(model) {
+			return false
+		}
+		for i, x := range model {
+			if v.ElementAt(th, i) != x {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestHashtableConcurrentDistinctKeys has each thread own a key range;
+// all entries must survive.
+func TestHashtableConcurrentDistinctKeys(t *testing.T) {
+	ctx := NewContext(core.NewDefault(), object.NewHeap())
+	reg := threading.NewRegistry()
+	h := ctx.NewHashtable()
+	const goroutines, perG = 6, 150
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		th, err := reg.Attach("w")
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(g int, th *threading.Thread) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				key := fmt.Sprintf("k-%d-%d", g, i)
+				h.Put(th, key, g*perG+i)
+			}
+		}(g, th)
+	}
+	wg.Wait()
+	main, _ := reg.Attach("main")
+	if h.Size(main) != goroutines*perG {
+		t.Fatalf("Size = %d, want %d", h.Size(main), goroutines*perG)
+	}
+	for g := 0; g < goroutines; g++ {
+		for i := 0; i < perG; i++ {
+			key := fmt.Sprintf("k-%d-%d", g, i)
+			if h.Get(main, key) != g*perG+i {
+				t.Fatalf("Get(%s) = %v", key, h.Get(main, key))
+			}
+		}
+	}
+}
+
+// TestStackConcurrentPushPop checks conservation: everything pushed is
+// popped exactly once across threads.
+func TestStackConcurrentPushPop(t *testing.T) {
+	ctx := NewContext(core.NewDefault(), object.NewHeap())
+	reg := threading.NewRegistry()
+	s := ctx.NewStack()
+	const producers, perP = 4, 200
+
+	var wg sync.WaitGroup
+	for g := 0; g < producers; g++ {
+		th, _ := reg.Attach("p")
+		wg.Add(1)
+		go func(g int, th *threading.Thread) {
+			defer wg.Done()
+			for i := 0; i < perP; i++ {
+				s.Push(th, g*perP+i)
+			}
+		}(g, th)
+	}
+	wg.Wait()
+
+	seen := make([]bool, producers*perP)
+	var mu sync.Mutex
+	for g := 0; g < producers; g++ {
+		th, _ := reg.Attach("c")
+		wg.Add(1)
+		go func(th *threading.Thread) {
+			defer wg.Done()
+			for i := 0; i < perP; i++ {
+				x := s.Pop(th).(int)
+				mu.Lock()
+				if seen[x] {
+					t.Errorf("value %d popped twice", x)
+				}
+				seen[x] = true
+				mu.Unlock()
+			}
+		}(th)
+	}
+	wg.Wait()
+	main, _ := reg.Attach("main")
+	if !s.Empty(main) {
+		t.Fatalf("stack not empty: %d left", s.Size(main))
+	}
+	for x, ok := range seen {
+		if !ok {
+			t.Fatalf("value %d lost", x)
+		}
+	}
+}
+
+// TestStringBufferConcurrentAppend checks no bytes are lost when many
+// threads append fixed-size chunks.
+func TestStringBufferConcurrentAppend(t *testing.T) {
+	ctx := NewContext(core.NewDefault(), object.NewHeap())
+	reg := threading.NewRegistry()
+	sb := ctx.NewStringBuffer()
+	const goroutines, perG, chunk = 5, 100, 7
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		th, _ := reg.Attach("w")
+		wg.Add(1)
+		go func(th *threading.Thread) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				sb.Append(th, "abcdefg")
+			}
+		}(th)
+	}
+	wg.Wait()
+	main, _ := reg.Attach("main")
+	if got := sb.Length(main); got != goroutines*perG*chunk {
+		t.Fatalf("Length = %d, want %d", got, goroutines*perG*chunk)
+	}
+}
+
+// TestBitSetConcurrentDisjointRanges sets disjoint bit ranges from
+// several threads; the union must be exact.
+func TestBitSetConcurrentDisjointRanges(t *testing.T) {
+	ctx := NewContext(core.NewDefault(), object.NewHeap())
+	reg := threading.NewRegistry()
+	b := ctx.NewBitSet(0)
+	const goroutines, perG = 6, 100
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		th, _ := reg.Attach("w")
+		wg.Add(1)
+		go func(g int, th *threading.Thread) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				b.Set(th, g*perG+i)
+			}
+		}(g, th)
+	}
+	wg.Wait()
+	main, _ := reg.Attach("main")
+	if got := b.Cardinality(main); got != goroutines*perG {
+		t.Fatalf("Cardinality = %d, want %d", got, goroutines*perG)
+	}
+	for i := 0; i < goroutines*perG; i++ {
+		if !b.Get(main, i) {
+			t.Fatalf("bit %d lost", i)
+		}
+	}
+}
+
+// TestHashtableRehashPreservesEntries grows far past the initial
+// threshold; every entry must survive the nested Rehash calls.
+func TestHashtableRehashPreservesEntries(t *testing.T) {
+	ctx := NewContext(core.NewDefault(), object.NewHeap())
+	reg := threading.NewRegistry()
+	th, _ := reg.Attach("t")
+	h := ctx.NewHashtable()
+	const n = 500
+	for i := 0; i < n; i++ {
+		h.Put(th, i, i*i)
+	}
+	if h.Size(th) != n {
+		t.Fatalf("Size = %d, want %d", h.Size(th), n)
+	}
+	for i := 0; i < n; i++ {
+		if h.Get(th, i) != i*i {
+			t.Fatalf("Get(%d) = %v, want %d", i, h.Get(th, i), i*i)
+		}
+	}
+}

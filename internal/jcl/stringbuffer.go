@@ -1,0 +1,114 @@
+package jcl
+
+import (
+	"strconv"
+
+	"thinlock/internal/object"
+	"thinlock/internal/threading"
+)
+
+// StringBuffer is java.lang.StringBuffer: a synchronized mutable string.
+// Every Java string concatenation the 1.1 compiler emitted became a pair
+// of synchronized StringBuffer appends, which is why document generators
+// like javadoc appear in the paper's benchmark suite.
+type StringBuffer struct {
+	ctx *Context
+	obj *object.Object
+	buf []byte
+}
+
+// NewStringBuffer allocates an empty StringBuffer.
+func (c *Context) NewStringBuffer() *StringBuffer {
+	return &StringBuffer{ctx: c, obj: c.heap.New("StringBuffer")}
+}
+
+// Object returns the buffer's lockable identity.
+func (sb *StringBuffer) Object() *object.Object { return sb.obj }
+
+// Append appends s and returns the buffer. Synchronized; when the buffer
+// must grow it calls the synchronized EnsureCapacity from inside its own
+// region, a nested lock as in JDK 1.1.
+func (sb *StringBuffer) Append(t *threading.Thread, s string) *StringBuffer {
+	sb.ctx.synchronized(t, sb.obj, func() {
+		if len(sb.buf)+len(s) > cap(sb.buf) {
+			sb.EnsureCapacity(t, len(sb.buf)+len(s))
+		}
+		sb.buf = append(sb.buf, s...)
+	})
+	return sb
+}
+
+// EnsureCapacity grows the buffer to hold at least capacity bytes.
+// Synchronized.
+func (sb *StringBuffer) EnsureCapacity(t *threading.Thread, capacity int) {
+	sb.ctx.synchronized(t, sb.obj, func() {
+		if cap(sb.buf) < capacity {
+			grown := make([]byte, len(sb.buf), 2*capacity)
+			copy(grown, sb.buf)
+			sb.buf = grown
+		}
+	})
+}
+
+// AppendChar appends one byte. Synchronized.
+func (sb *StringBuffer) AppendChar(t *threading.Thread, ch byte) *StringBuffer {
+	sb.ctx.synchronized(t, sb.obj, func() {
+		sb.buf = append(sb.buf, ch)
+	})
+	return sb
+}
+
+// AppendInt appends the decimal rendering of n. Synchronized.
+func (sb *StringBuffer) AppendInt(t *threading.Thread, n int64) *StringBuffer {
+	sb.ctx.synchronized(t, sb.obj, func() {
+		sb.buf = strconv.AppendInt(sb.buf, n, 10)
+	})
+	return sb
+}
+
+// Length returns the buffer length. Synchronized.
+func (sb *StringBuffer) Length(t *threading.Thread) int {
+	var n int
+	sb.ctx.synchronized(t, sb.obj, func() {
+		n = len(sb.buf)
+	})
+	return n
+}
+
+// CharAt returns the byte at index i; panics out of range. Synchronized.
+func (sb *StringBuffer) CharAt(t *threading.Thread, i int) byte {
+	var ch byte
+	sb.ctx.synchronized(t, sb.obj, func() {
+		ch = sb.buf[i]
+	})
+	return ch
+}
+
+// SetLength truncates or zero-extends the buffer. Synchronized.
+func (sb *StringBuffer) SetLength(t *threading.Thread, n int) {
+	sb.ctx.synchronized(t, sb.obj, func() {
+		for len(sb.buf) < n {
+			sb.buf = append(sb.buf, 0)
+		}
+		sb.buf = sb.buf[:n]
+	})
+}
+
+// Reverse reverses the buffer in place and returns it. Synchronized.
+func (sb *StringBuffer) Reverse(t *threading.Thread) *StringBuffer {
+	sb.ctx.synchronized(t, sb.obj, func() {
+		for i, j := 0, len(sb.buf)-1; i < j; i, j = i+1, j-1 {
+			sb.buf[i], sb.buf[j] = sb.buf[j], sb.buf[i]
+		}
+	})
+	return sb
+}
+
+// String returns the buffer contents. Synchronized (toString in Java).
+func (sb *StringBuffer) String(t *threading.Thread) string {
+	var s string
+	sb.ctx.synchronized(t, sb.obj, func() {
+		s = string(sb.buf)
+	})
+	return s
+}

@@ -1,0 +1,270 @@
+package jcl
+
+import (
+	"thinlock/internal/object"
+	"thinlock/internal/threading"
+)
+
+// Vector is java.util.Vector: a growable array whose public methods are
+// all synchronized. The paper's javalex benchmark made almost one million
+// calls to the synchronized elementAt method alone (§3.4).
+type Vector struct {
+	ctx   *Context
+	obj   *object.Object
+	elems []any
+}
+
+// NewVector allocates an empty Vector.
+func (c *Context) NewVector() *Vector {
+	return &Vector{ctx: c, obj: c.heap.New("Vector")}
+}
+
+// NewVectorWithCapacity allocates a Vector with initial capacity.
+func (c *Context) NewVectorWithCapacity(capacity int) *Vector {
+	return &Vector{ctx: c, obj: c.heap.New("Vector"), elems: make([]any, 0, capacity)}
+}
+
+// Object returns the Vector's lockable identity.
+func (v *Vector) Object() *object.Object { return v.obj }
+
+// AddElement appends e. Synchronized. As in JDK 1.1, it calls the public
+// synchronized EnsureCapacity from inside its own synchronized region, so
+// every append performs one nested (depth-two) lock acquisition — a large
+// part of the "Second" bars of the paper's Figure 3.
+func (v *Vector) AddElement(t *threading.Thread, e any) {
+	v.ctx.synchronized(t, v.obj, func() {
+		v.EnsureCapacity(t, len(v.elems)+1)
+		v.elems = append(v.elems, e)
+	})
+}
+
+// EnsureCapacity grows the backing array to hold at least capacity
+// elements. Synchronized (and typically entered nested, from AddElement
+// or InsertElementAt).
+func (v *Vector) EnsureCapacity(t *threading.Thread, capacity int) {
+	v.ctx.synchronized(t, v.obj, func() {
+		if cap(v.elems) < capacity {
+			grown := make([]any, len(v.elems), 2*capacity)
+			copy(grown, v.elems)
+			v.elems = grown
+		}
+	})
+}
+
+// Capacity returns the backing array capacity. Synchronized.
+func (v *Vector) Capacity(t *threading.Thread) int {
+	var c int
+	v.ctx.synchronized(t, v.obj, func() {
+		c = cap(v.elems)
+	})
+	return c
+}
+
+// ElementAt returns the element at index i, or panics if out of range,
+// as Java throws ArrayIndexOutOfBoundsException. Synchronized.
+func (v *Vector) ElementAt(t *threading.Thread, i int) any {
+	var e any
+	v.ctx.synchronized(t, v.obj, func() {
+		e = v.elems[i]
+	})
+	return e
+}
+
+// SetElementAt replaces the element at index i. Synchronized.
+func (v *Vector) SetElementAt(t *threading.Thread, e any, i int) {
+	v.ctx.synchronized(t, v.obj, func() {
+		v.elems[i] = e
+	})
+}
+
+// InsertElementAt inserts e at index i. Synchronized, with a nested
+// EnsureCapacity call as in JDK 1.1.
+func (v *Vector) InsertElementAt(t *threading.Thread, e any, i int) {
+	v.ctx.synchronized(t, v.obj, func() {
+		v.EnsureCapacity(t, len(v.elems)+1)
+		v.elems = append(v.elems, nil)
+		copy(v.elems[i+1:], v.elems[i:])
+		v.elems[i] = e
+	})
+}
+
+// RemoveElementAt deletes the element at index i. Synchronized.
+func (v *Vector) RemoveElementAt(t *threading.Thread, i int) {
+	v.ctx.synchronized(t, v.obj, func() {
+		copy(v.elems[i:], v.elems[i+1:])
+		v.elems = v.elems[:len(v.elems)-1]
+	})
+}
+
+// RemoveElement deletes the first occurrence of e, reporting whether one
+// was found. Synchronized.
+func (v *Vector) RemoveElement(t *threading.Thread, e any) bool {
+	removed := false
+	v.ctx.synchronized(t, v.obj, func() {
+		for i, x := range v.elems {
+			if x == e {
+				copy(v.elems[i:], v.elems[i+1:])
+				v.elems = v.elems[:len(v.elems)-1]
+				removed = true
+				return
+			}
+		}
+	})
+	return removed
+}
+
+// RemoveAllElements empties the vector. Synchronized.
+func (v *Vector) RemoveAllElements(t *threading.Thread) {
+	v.ctx.synchronized(t, v.obj, func() {
+		v.elems = v.elems[:0]
+	})
+}
+
+// Size returns the element count. Synchronized.
+func (v *Vector) Size(t *threading.Thread) int {
+	var n int
+	v.ctx.synchronized(t, v.obj, func() {
+		n = len(v.elems)
+	})
+	return n
+}
+
+// IsEmpty reports whether the vector has no elements. Synchronized.
+func (v *Vector) IsEmpty(t *threading.Thread) bool {
+	return v.Size(t) == 0
+}
+
+// FirstElement returns the first element; panics when empty. Synchronized.
+func (v *Vector) FirstElement(t *threading.Thread) any {
+	return v.ElementAt(t, 0)
+}
+
+// LastElement returns the last element; panics when empty. Synchronized.
+func (v *Vector) LastElement(t *threading.Thread) any {
+	var e any
+	v.ctx.synchronized(t, v.obj, func() {
+		e = v.elems[len(v.elems)-1]
+	})
+	return e
+}
+
+// IndexOf returns the index of the first occurrence of e, or -1.
+// Synchronized.
+func (v *Vector) IndexOf(t *threading.Thread, e any) int {
+	idx := -1
+	v.ctx.synchronized(t, v.obj, func() {
+		for i, x := range v.elems {
+			if x == e {
+				idx = i
+				return
+			}
+		}
+	})
+	return idx
+}
+
+// Contains reports whether e occurs in the vector. Synchronized.
+func (v *Vector) Contains(t *threading.Thread, e any) bool {
+	return v.IndexOf(t, e) >= 0
+}
+
+// CopyInto copies the elements into dst. Synchronized.
+func (v *Vector) CopyInto(t *threading.Thread, dst []any) {
+	v.ctx.synchronized(t, v.obj, func() {
+		copy(dst, v.elems)
+	})
+}
+
+// Elements returns an enumeration over the vector. As in JDK 1.1, the
+// enumeration's methods synchronize on the vector itself.
+func (v *Vector) Elements() *Enumeration {
+	return &Enumeration{v: v}
+}
+
+// Enumeration is java.util.VectorEnumerator: each step synchronizes on
+// the underlying vector.
+type Enumeration struct {
+	v   *Vector
+	pos int
+}
+
+// HasMoreElements reports whether the enumeration has elements left.
+// Synchronized on the vector.
+func (e *Enumeration) HasMoreElements(t *threading.Thread) bool {
+	var more bool
+	e.v.ctx.synchronized(t, e.v.obj, func() {
+		more = e.pos < len(e.v.elems)
+	})
+	return more
+}
+
+// NextElement returns the next element; panics past the end.
+// Synchronized on the vector.
+func (e *Enumeration) NextElement(t *threading.Thread) any {
+	var x any
+	e.v.ctx.synchronized(t, e.v.obj, func() {
+		x = e.v.elems[e.pos]
+		e.pos++
+	})
+	return x
+}
+
+// Stack is java.util.Stack, which extends Vector and synchronizes on the
+// same object.
+type Stack struct {
+	Vector
+}
+
+// NewStack allocates an empty Stack.
+func (c *Context) NewStack() *Stack {
+	return &Stack{Vector{ctx: c, obj: c.heap.New("Stack")}}
+}
+
+// Push pushes e and returns it. Synchronized (via addElement in Java).
+func (s *Stack) Push(t *threading.Thread, e any) any {
+	s.AddElement(t, e)
+	return e
+}
+
+// Pop removes and returns the top element; panics when empty. As in JDK
+// 1.1, the synchronized pop calls the synchronized Peek and
+// RemoveElementAt, producing depth-two nested locking.
+func (s *Stack) Pop(t *threading.Thread) any {
+	var e any
+	s.ctx.synchronized(t, s.obj, func() {
+		e = s.Peek(t)
+		s.RemoveElementAt(t, s.Size(t)-1)
+	})
+	return e
+}
+
+// Peek returns the top element without removing it; panics when empty.
+// Synchronized, calling the synchronized LastElement (nested when invoked
+// from Pop).
+func (s *Stack) Peek(t *threading.Thread) any {
+	var e any
+	s.ctx.synchronized(t, s.obj, func() {
+		e = s.LastElement(t)
+	})
+	return e
+}
+
+// Empty reports whether the stack is empty. Synchronized.
+func (s *Stack) Empty(t *threading.Thread) bool {
+	return s.IsEmpty(t)
+}
+
+// Search returns the 1-based distance of e from the top, or -1.
+// Synchronized.
+func (s *Stack) Search(t *threading.Thread, e any) int {
+	res := -1
+	s.ctx.synchronized(t, s.obj, func() {
+		for i := len(s.elems) - 1; i >= 0; i-- {
+			if s.elems[i] == e {
+				res = len(s.elems) - i
+				return
+			}
+		}
+	})
+	return res
+}

@@ -1,0 +1,60 @@
+// Package lockapi defines the interface every lock implementation in this
+// repository provides: the thin locks of the paper (internal/core), the
+// Sun JDK 1.1.1 monitor-cache baseline (internal/monitorcache), and the
+// IBM 1.1.2 hot-locks baseline (internal/hotlocks). The benchmark harness,
+// the bytecode interpreter, and the synchronized class library are all
+// written against this interface so that the three implementations can be
+// compared on identical workloads, exactly as the paper compares
+// "ThinLock", "JDK111" and "IBM112" on one JVM.
+package lockapi
+
+import (
+	"time"
+
+	"thinlock/internal/object"
+	"thinlock/internal/threading"
+)
+
+// Locker is a monitor implementation over the shared object model.
+//
+// All methods take the acting thread explicitly (the analogue of the JVM's
+// execution-environment pointer). Lock blocks until the lock is held and
+// never fails; Unlock, Wait, Notify and NotifyAll report
+// IllegalMonitorState-style misuse via an error.
+type Locker interface {
+	// Lock acquires o's monitor for t, blocking as needed. Recursive
+	// locking is permitted to any depth.
+	Lock(t *threading.Thread, o *object.Object)
+
+	// Unlock releases one level of o's monitor.
+	Unlock(t *threading.Thread, o *object.Object) error
+
+	// Wait releases o's monitor completely, blocks until notified,
+	// interrupted or d elapses (d <= 0 waits forever), and re-acquires
+	// the monitor at the original depth. notified reports whether the
+	// wakeup came from Notify/NotifyAll rather than the timeout.
+	Wait(t *threading.Thread, o *object.Object, d time.Duration) (notified bool, err error)
+
+	// Notify wakes one thread waiting on o.
+	Notify(t *threading.Thread, o *object.Object) error
+
+	// NotifyAll wakes every thread waiting on o.
+	NotifyAll(t *threading.Thread, o *object.Object) error
+
+	// Name identifies the implementation in reports ("ThinLock",
+	// "JDK111", "IBM112", ...).
+	Name() string
+}
+
+// Synchronized runs fn while holding o's monitor, the analogue of a Java
+// synchronized block. It panics if the unlock fails, which would indicate
+// a corrupted lock state.
+func Synchronized(l Locker, t *threading.Thread, o *object.Object, fn func()) {
+	l.Lock(t, o)
+	defer func() {
+		if err := l.Unlock(t, o); err != nil {
+			panic("lockapi: unbalanced synchronized block: " + err.Error())
+		}
+	}()
+	fn()
+}

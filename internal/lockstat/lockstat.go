@@ -1,0 +1,201 @@
+// Package lockstat wraps any lock implementation with the instrumentation
+// used for the paper's characterization experiments: the per-nesting-depth
+// breakdown of lock operations (Figure 3) and the per-object
+// synchronization counts behind Table 1's "Sync'd Objects", "Syncs" and
+// "Syncs/S.Obj" columns.
+package lockstat
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"thinlock/internal/lockapi"
+	"thinlock/internal/object"
+	"thinlock/internal/threading"
+)
+
+// MaxDepthBucket is the deepest individually-tracked nesting depth;
+// deeper acquisitions land in the overflow bucket. The paper's
+// benchmarks never nested deeper than four (§3.2).
+const MaxDepthBucket = 8
+
+// key identifies a (thread, object) pair for depth tracking.
+type key struct {
+	thread uint16
+	object uint64
+}
+
+// Recorder wraps a Locker, counting every operation. It is safe for
+// concurrent use; the instrumentation cost is irrelevant because the
+// characterization runs are not timed.
+type Recorder struct {
+	inner lockapi.Locker
+
+	mu       sync.Mutex
+	depths   map[key]int
+	byDepth  [MaxDepthBucket + 1]uint64 // index d = lock at depth d (0 = unlocked object); last = overflow
+	objSyncs map[uint64]uint64          // object id → lock ops
+	total    uint64
+	waits    uint64
+	notifies uint64
+}
+
+// New returns a Recorder wrapping inner.
+func New(inner lockapi.Locker) *Recorder {
+	return &Recorder{
+		inner:    inner,
+		depths:   make(map[key]int),
+		objSyncs: make(map[uint64]uint64),
+	}
+}
+
+// Name implements lockapi.Locker.
+func (r *Recorder) Name() string { return r.inner.Name() + "+stats" }
+
+// Inner returns the wrapped implementation.
+func (r *Recorder) Inner() lockapi.Locker { return r.inner }
+
+// Lock implements lockapi.Locker.
+func (r *Recorder) Lock(t *threading.Thread, o *object.Object) {
+	r.mu.Lock()
+	k := key{t.Index(), o.ID()}
+	d := r.depths[k]
+	if d >= MaxDepthBucket {
+		r.byDepth[MaxDepthBucket]++
+	} else {
+		r.byDepth[d]++
+	}
+	r.depths[k] = d + 1
+	r.objSyncs[o.ID()]++
+	r.total++
+	r.mu.Unlock()
+	r.inner.Lock(t, o)
+}
+
+// Unlock implements lockapi.Locker.
+func (r *Recorder) Unlock(t *threading.Thread, o *object.Object) error {
+	err := r.inner.Unlock(t, o)
+	if err == nil {
+		r.mu.Lock()
+		k := key{t.Index(), o.ID()}
+		if d := r.depths[k]; d > 1 {
+			r.depths[k] = d - 1
+		} else {
+			delete(r.depths, k)
+		}
+		r.mu.Unlock()
+	}
+	return err
+}
+
+// Wait implements lockapi.Locker. The recorded depth is preserved across
+// the wait because the monitor restores the full recursion count.
+func (r *Recorder) Wait(t *threading.Thread, o *object.Object, d time.Duration) (bool, error) {
+	r.mu.Lock()
+	r.waits++
+	r.mu.Unlock()
+	return r.inner.Wait(t, o, d)
+}
+
+// Notify implements lockapi.Locker.
+func (r *Recorder) Notify(t *threading.Thread, o *object.Object) error {
+	r.mu.Lock()
+	r.notifies++
+	r.mu.Unlock()
+	return r.inner.Notify(t, o)
+}
+
+// NotifyAll implements lockapi.Locker.
+func (r *Recorder) NotifyAll(t *threading.Thread, o *object.Object) error {
+	r.mu.Lock()
+	r.notifies++
+	r.mu.Unlock()
+	return r.inner.NotifyAll(t, o)
+}
+
+// Report is a snapshot of everything the Recorder observed.
+type Report struct {
+	// ByDepth[d] counts lock operations performed on an object the
+	// thread already held d times: ByDepth[0] is the paper's "First"
+	// bar of Figure 3, ByDepth[1] "Second", and so on. The final
+	// element aggregates depths >= MaxDepthBucket.
+	ByDepth [MaxDepthBucket + 1]uint64
+	// TotalSyncs is the total number of lock operations.
+	TotalSyncs uint64
+	// SyncedObjects is the number of distinct objects ever locked.
+	SyncedObjects int
+	// SyncsPerObject is TotalSyncs / SyncedObjects.
+	SyncsPerObject float64
+	// MedianSyncsPerObject is the median lock-op count across synced
+	// objects.
+	MedianSyncsPerObject float64
+	// Waits and Notifies count the respective operations.
+	Waits    uint64
+	Notifies uint64
+}
+
+// Snapshot returns the current Report.
+func (r *Recorder) Snapshot() Report {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rep := Report{
+		ByDepth:       r.byDepth,
+		TotalSyncs:    r.total,
+		SyncedObjects: len(r.objSyncs),
+		Waits:         r.waits,
+		Notifies:      r.notifies,
+	}
+	if rep.SyncedObjects > 0 {
+		rep.SyncsPerObject = float64(rep.TotalSyncs) / float64(rep.SyncedObjects)
+		counts := make([]uint64, 0, len(r.objSyncs))
+		for _, c := range r.objSyncs {
+			counts = append(counts, c)
+		}
+		sort.Slice(counts, func(i, j int) bool { return counts[i] < counts[j] })
+		mid := len(counts) / 2
+		if len(counts)%2 == 1 {
+			rep.MedianSyncsPerObject = float64(counts[mid])
+		} else {
+			rep.MedianSyncsPerObject = float64(counts[mid-1]+counts[mid]) / 2
+		}
+	}
+	return rep
+}
+
+// DepthShare returns the fraction of lock operations at the given depth
+// (0 = first lock). Returns 0 when no operations were recorded.
+func (rep Report) DepthShare(depth int) float64 {
+	if rep.TotalSyncs == 0 {
+		return 0
+	}
+	if depth > MaxDepthBucket {
+		depth = MaxDepthBucket
+	}
+	return float64(rep.ByDepth[depth]) / float64(rep.TotalSyncs)
+}
+
+// MaxDepth returns the deepest nesting depth observed (1 = never nested),
+// or 0 if nothing was locked. Depths beyond MaxDepthBucket report
+// MaxDepthBucket+1.
+func (rep Report) MaxDepth() int {
+	for d := MaxDepthBucket; d >= 0; d-- {
+		if rep.ByDepth[d] > 0 {
+			return d + 1
+		}
+	}
+	return 0
+}
+
+// String renders the Figure 3 style breakdown.
+func (rep Report) String() string {
+	labels := [...]string{"First", "Second", "Third", "Fourth", "Fifth", "Sixth", "Seventh", "Eighth", "Deeper"}
+	s := fmt.Sprintf("syncs=%d objects=%d syncs/obj=%.1f:", rep.TotalSyncs, rep.SyncedObjects, rep.SyncsPerObject)
+	for d, label := range labels {
+		if rep.ByDepth[d] > 0 {
+			s += fmt.Sprintf(" %s=%.1f%%", label, 100*rep.DepthShare(d))
+		}
+	}
+	return s
+}

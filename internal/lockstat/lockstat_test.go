@@ -1,0 +1,237 @@
+package lockstat
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"thinlock/internal/core"
+	"thinlock/internal/object"
+	"thinlock/internal/threading"
+)
+
+type fixture struct {
+	r    *Recorder
+	heap *object.Heap
+	reg  *threading.Registry
+}
+
+func newFixture() *fixture {
+	return &fixture{
+		r:    New(core.NewDefault()),
+		heap: object.NewHeap(),
+		reg:  threading.NewRegistry(),
+	}
+}
+
+func (f *fixture) thread(t *testing.T) *threading.Thread {
+	t.Helper()
+	th, err := f.reg.Attach("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return th
+}
+
+func TestCountsFirstLocks(t *testing.T) {
+	f := newFixture()
+	th := f.thread(t)
+	for i := 0; i < 10; i++ {
+		o := f.heap.New("X")
+		f.r.Lock(th, o)
+		if err := f.r.Unlock(th, o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep := f.r.Snapshot()
+	if rep.TotalSyncs != 10 {
+		t.Errorf("TotalSyncs = %d, want 10", rep.TotalSyncs)
+	}
+	if rep.ByDepth[0] != 10 {
+		t.Errorf("ByDepth[0] = %d, want 10", rep.ByDepth[0])
+	}
+	if rep.SyncedObjects != 10 {
+		t.Errorf("SyncedObjects = %d, want 10", rep.SyncedObjects)
+	}
+	if rep.DepthShare(0) != 1.0 {
+		t.Errorf("DepthShare(0) = %f, want 1", rep.DepthShare(0))
+	}
+	if rep.MaxDepth() != 1 {
+		t.Errorf("MaxDepth = %d, want 1", rep.MaxDepth())
+	}
+}
+
+func TestCountsNestedDepths(t *testing.T) {
+	f := newFixture()
+	th := f.thread(t)
+	o := f.heap.New("X")
+	// Depth pattern: lock to 3, unlock to 1, lock to 3 again.
+	f.r.Lock(th, o) // depth 0
+	f.r.Lock(th, o) // depth 1
+	f.r.Lock(th, o) // depth 2
+	mustUnlock(t, f, th, o, 2)
+	f.r.Lock(th, o) // depth 1
+	f.r.Lock(th, o) // depth 2
+	mustUnlock(t, f, th, o, 3)
+
+	rep := f.r.Snapshot()
+	if rep.ByDepth[0] != 1 || rep.ByDepth[1] != 2 || rep.ByDepth[2] != 2 {
+		t.Errorf("ByDepth = %v, want [1 2 2 ...]", rep.ByDepth)
+	}
+	if rep.MaxDepth() != 3 {
+		t.Errorf("MaxDepth = %d, want 3", rep.MaxDepth())
+	}
+	if rep.SyncedObjects != 1 {
+		t.Errorf("SyncedObjects = %d, want 1", rep.SyncedObjects)
+	}
+	if rep.SyncsPerObject != 5 {
+		t.Errorf("SyncsPerObject = %f, want 5", rep.SyncsPerObject)
+	}
+}
+
+func mustUnlock(t *testing.T, f *fixture, th *threading.Thread, o *object.Object, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if err := f.r.Unlock(th, o); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestOverflowBucket(t *testing.T) {
+	f := newFixture()
+	th := f.thread(t)
+	o := f.heap.New("X")
+	for i := 0; i < MaxDepthBucket+5; i++ {
+		f.r.Lock(th, o)
+	}
+	rep := f.r.Snapshot()
+	if rep.ByDepth[MaxDepthBucket] != 5 {
+		t.Errorf("overflow bucket = %d, want 5", rep.ByDepth[MaxDepthBucket])
+	}
+	if rep.MaxDepth() != MaxDepthBucket+1 {
+		t.Errorf("MaxDepth = %d, want %d", rep.MaxDepth(), MaxDepthBucket+1)
+	}
+	mustUnlock(t, f, th, o, MaxDepthBucket+5)
+}
+
+func TestFailedUnlockDoesNotDecrement(t *testing.T) {
+	f := newFixture()
+	a, b := f.thread(t), f.thread(t)
+	o := f.heap.New("X")
+	f.r.Lock(a, o)
+	if err := f.r.Unlock(b, o); err == nil {
+		t.Fatal("unlock by non-owner succeeded")
+	}
+	f.r.Lock(a, o) // should count as depth 1, not 0
+	rep := f.r.Snapshot()
+	if rep.ByDepth[1] != 1 {
+		t.Errorf("ByDepth[1] = %d, want 1", rep.ByDepth[1])
+	}
+	mustUnlock(t, f, a, o, 2)
+}
+
+func TestMedianSyncsPerObject(t *testing.T) {
+	f := newFixture()
+	th := f.thread(t)
+	// Three objects with 1, 2 and 9 syncs: median 2.
+	counts := []int{1, 2, 9}
+	for _, n := range counts {
+		o := f.heap.New("X")
+		for i := 0; i < n; i++ {
+			f.r.Lock(th, o)
+			if err := f.r.Unlock(th, o); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	rep := f.r.Snapshot()
+	if rep.MedianSyncsPerObject != 2 {
+		t.Errorf("median = %f, want 2", rep.MedianSyncsPerObject)
+	}
+	if rep.SyncsPerObject != 4 {
+		t.Errorf("mean = %f, want 4", rep.SyncsPerObject)
+	}
+}
+
+func TestWaitNotifyCounted(t *testing.T) {
+	f := newFixture()
+	th := f.thread(t)
+	o := f.heap.New("X")
+	f.r.Lock(th, o)
+	if _, err := f.r.Wait(th, o, 5*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.r.Notify(th, o); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.r.NotifyAll(th, o); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.r.Unlock(th, o); err != nil {
+		t.Fatal(err)
+	}
+	rep := f.r.Snapshot()
+	if rep.Waits != 1 {
+		t.Errorf("Waits = %d, want 1", rep.Waits)
+	}
+	if rep.Notifies != 2 {
+		t.Errorf("Notifies = %d, want 2", rep.Notifies)
+	}
+}
+
+func TestDepthSurvivesWait(t *testing.T) {
+	f := newFixture()
+	th := f.thread(t)
+	o := f.heap.New("X")
+	f.r.Lock(th, o)
+	f.r.Lock(th, o)
+	if _, err := f.r.Wait(th, o, 5*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	f.r.Lock(th, o) // depth 2 after the wait restored depth 2
+	rep := f.r.Snapshot()
+	if rep.ByDepth[2] != 1 {
+		t.Errorf("ByDepth[2] = %d, want 1 (depth preserved across wait)", rep.ByDepth[2])
+	}
+	mustUnlock(t, f, th, o, 3)
+}
+
+func TestNameAndInner(t *testing.T) {
+	inner := core.NewDefault()
+	r := New(inner)
+	if r.Name() != "ThinLock+stats" {
+		t.Errorf("Name = %q", r.Name())
+	}
+	if r.Inner() != inner {
+		t.Error("Inner mismatch")
+	}
+}
+
+func TestReportString(t *testing.T) {
+	f := newFixture()
+	th := f.thread(t)
+	o := f.heap.New("X")
+	f.r.Lock(th, o)
+	f.r.Lock(th, o)
+	mustUnlock(t, f, th, o, 2)
+	s := f.r.Snapshot().String()
+	for _, want := range []string{"syncs=2", "First=50.0%", "Second=50.0%"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestEmptyReport(t *testing.T) {
+	rep := New(core.NewDefault()).Snapshot()
+	if rep.DepthShare(0) != 0 {
+		t.Error("DepthShare on empty report")
+	}
+	if rep.MaxDepth() != 0 {
+		t.Error("MaxDepth on empty report")
+	}
+	if rep.DepthShare(MaxDepthBucket+3) != 0 {
+		t.Error("DepthShare beyond buckets on empty report")
+	}
+}

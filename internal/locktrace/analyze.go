@@ -1,0 +1,202 @@
+package locktrace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// OrderEdge records that some thread acquired To while holding From.
+type OrderEdge struct {
+	From, To uint64
+	// Threads lists the thread indices that created the edge.
+	Threads []uint16
+}
+
+// Cycle is a lock-order inversion: objects that are acquired in
+// conflicting orders by different code paths — the classic potential
+// deadlock.
+type Cycle struct {
+	// Objects in cycle order: each is acquired while holding the
+	// previous (the last wraps to the first).
+	Objects []uint64
+}
+
+// String renders the cycle.
+func (c Cycle) String() string {
+	parts := make([]string, len(c.Objects))
+	for i, o := range c.Objects {
+		parts[i] = fmt.Sprintf("#%d", o)
+	}
+	return strings.Join(parts, " -> ") + " -> " + parts[0]
+}
+
+// Report is the outcome of analyzing a trace.
+type Report struct {
+	// Events is the number of events analyzed.
+	Events int
+	// FailedOps counts operations that returned IllegalMonitorState.
+	FailedOps int
+	// Unbalanced maps thread index to object ids still held at the end
+	// of the trace.
+	Unbalanced map[uint16][]uint64
+	// Edges is the held-while-acquiring order graph (self-edges from
+	// recursive locking are excluded).
+	Edges []OrderEdge
+	// Cycles are the detected lock-order inversions.
+	Cycles []Cycle
+}
+
+// HasHazards reports whether the trace shows failed operations, locks
+// held at the end, or order inversions.
+func (r Report) HasHazards() bool {
+	return r.FailedOps > 0 || len(r.Unbalanced) > 0 || len(r.Cycles) > 0
+}
+
+// String summarizes the report.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace: %d events, %d failed ops, %d order edges, %d cycles\n",
+		r.Events, r.FailedOps, len(r.Edges), len(r.Cycles))
+	if len(r.Unbalanced) > 0 {
+		threads := make([]int, 0, len(r.Unbalanced))
+		for t := range r.Unbalanced {
+			threads = append(threads, int(t))
+		}
+		sort.Ints(threads)
+		for _, t := range threads {
+			fmt.Fprintf(&b, "  thread %d ends holding %v\n", t, r.Unbalanced[uint16(t)])
+		}
+	}
+	for _, c := range r.Cycles {
+		fmt.Fprintf(&b, "  lock-order inversion: %s\n", c)
+	}
+	return b.String()
+}
+
+// Analyze inspects a trace for hazards.
+func Analyze(events []Event) Report {
+	rep := Report{Events: len(events), Unbalanced: make(map[uint16][]uint64)}
+
+	type edgeKey struct{ from, to uint64 }
+	edgeThreads := make(map[edgeKey]map[uint16]bool)
+	held := make(map[uint16][]uint64)
+
+	for _, e := range events {
+		if e.Failed {
+			rep.FailedOps++
+		}
+		switch e.Kind {
+		case EvAcquire:
+			for _, h := range e.Held {
+				if h == e.Object {
+					continue // recursive locking is not an ordering edge
+				}
+				k := edgeKey{h, e.Object}
+				if edgeThreads[k] == nil {
+					edgeThreads[k] = make(map[uint16]bool)
+				}
+				edgeThreads[k][e.Thread] = true
+			}
+			held[e.Thread] = append(held[e.Thread], e.Object)
+		case EvRelease:
+			if e.Failed {
+				continue
+			}
+			hs := held[e.Thread]
+			for i := len(hs) - 1; i >= 0; i-- {
+				if hs[i] == e.Object {
+					held[e.Thread] = append(hs[:i], hs[i+1:]...)
+					break
+				}
+			}
+		}
+	}
+
+	for t, hs := range held {
+		if len(hs) > 0 {
+			rep.Unbalanced[t] = hs
+		}
+	}
+
+	// Materialize the edge list deterministically.
+	keys := make([]edgeKey, 0, len(edgeThreads))
+	for k := range edgeThreads {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].from != keys[j].from {
+			return keys[i].from < keys[j].from
+		}
+		return keys[i].to < keys[j].to
+	})
+	adj := make(map[uint64][]uint64)
+	for _, k := range keys {
+		var ts []uint16
+		for t := range edgeThreads[k] {
+			ts = append(ts, t)
+		}
+		sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+		rep.Edges = append(rep.Edges, OrderEdge{From: k.from, To: k.to, Threads: ts})
+		adj[k.from] = append(adj[k.from], k.to)
+	}
+
+	rep.Cycles = findCycles(adj)
+	return rep
+}
+
+// findCycles returns one representative cycle per strongly-entangled
+// object group, via DFS with a recursion stack.
+func findCycles(adj map[uint64][]uint64) []Cycle {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[uint64]int)
+	onPath := []uint64{}
+	var cycles []Cycle
+	reported := make(map[uint64]bool) // avoid re-reporting through the same node
+
+	var dfs func(u uint64)
+	dfs = func(u uint64) {
+		color[u] = gray
+		onPath = append(onPath, u)
+		for _, v := range adj[u] {
+			switch color[v] {
+			case white:
+				dfs(v)
+			case gray:
+				// Found a back edge: the cycle is the path segment
+				// from v to u.
+				start := -1
+				for i, x := range onPath {
+					if x == v {
+						start = i
+						break
+					}
+				}
+				if start >= 0 && !reported[v] {
+					reported[v] = true
+					cycles = append(cycles, Cycle{
+						Objects: append([]uint64(nil), onPath[start:]...),
+					})
+				}
+			}
+		}
+		onPath = onPath[:len(onPath)-1]
+		color[u] = black
+	}
+
+	nodes := make([]uint64, 0, len(adj))
+	for u := range adj {
+		nodes = append(nodes, u)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	for _, u := range nodes {
+		if color[u] == white {
+			dfs(u)
+		}
+	}
+	return cycles
+}

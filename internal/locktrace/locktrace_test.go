@@ -1,0 +1,278 @@
+package locktrace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"thinlock/internal/core"
+	"thinlock/internal/object"
+	"thinlock/internal/threading"
+)
+
+type fixture struct {
+	tr   *Tracer
+	heap *object.Heap
+	reg  *threading.Registry
+}
+
+func newFixture(capacity int) *fixture {
+	return &fixture{
+		tr:   New(core.NewDefault(), capacity),
+		heap: object.NewHeap(),
+		reg:  threading.NewRegistry(),
+	}
+}
+
+func (f *fixture) thread(t *testing.T) *threading.Thread {
+	t.Helper()
+	th, err := f.reg.Attach("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return th
+}
+
+func TestTracerRecordsEvents(t *testing.T) {
+	f := newFixture(0)
+	th := f.thread(t)
+	o := f.heap.New("Acct")
+
+	f.tr.Lock(th, o)
+	if err := f.tr.Unlock(th, o); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.tr.Wait(th, o, time.Millisecond); err == nil {
+		t.Fatal("wait without lock should fail")
+	}
+	if err := f.tr.Notify(th, o); err == nil {
+		t.Fatal("notify without lock should fail")
+	}
+
+	evs := f.tr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("events = %d, want 4", len(evs))
+	}
+	wantKinds := []EventKind{EvAcquire, EvRelease, EvWait, EvNotify}
+	for i, ev := range evs {
+		if ev.Kind != wantKinds[i] {
+			t.Errorf("event %d kind = %v, want %v", i, ev.Kind, wantKinds[i])
+		}
+		if ev.Thread != th.Index() || ev.Object != o.ID() || ev.Class != "Acct" {
+			t.Errorf("event %d fields wrong: %+v", i, ev)
+		}
+		if ev.Seq != uint64(i+1) {
+			t.Errorf("event %d seq = %d", i, ev.Seq)
+		}
+	}
+	if evs[0].Failed || evs[1].Failed {
+		t.Error("successful ops marked failed")
+	}
+	if !evs[2].Failed || !evs[3].Failed {
+		t.Error("failed ops not marked")
+	}
+	if !strings.Contains(evs[0].String(), "acquire Acct#") {
+		t.Errorf("event String = %q", evs[0].String())
+	}
+	if f.tr.Name() != "ThinLock+trace" {
+		t.Errorf("Name = %q", f.tr.Name())
+	}
+}
+
+func TestTracerRecordsHeldSets(t *testing.T) {
+	f := newFixture(0)
+	th := f.thread(t)
+	a := f.heap.New("A")
+	b := f.heap.New("B")
+
+	f.tr.Lock(th, a)
+	f.tr.Lock(th, b) // held: [a]
+	_ = f.tr.Unlock(th, b)
+	_ = f.tr.Unlock(th, a)
+
+	evs := f.tr.Events()
+	if len(evs[0].Held) != 0 {
+		t.Errorf("first acquire Held = %v, want empty", evs[0].Held)
+	}
+	if len(evs[1].Held) != 1 || evs[1].Held[0] != a.ID() {
+		t.Errorf("second acquire Held = %v, want [%d]", evs[1].Held, a.ID())
+	}
+}
+
+func TestTracerBoundedBuffer(t *testing.T) {
+	f := newFixture(4)
+	th := f.thread(t)
+	o := f.heap.New("X")
+	for i := 0; i < 6; i++ {
+		f.tr.Lock(th, o)
+		_ = f.tr.Unlock(th, o)
+	}
+	evs := f.tr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("events = %d, want capacity 4", len(evs))
+	}
+	if f.tr.Dropped() != 8 {
+		t.Fatalf("dropped = %d, want 8", f.tr.Dropped())
+	}
+	// Remaining events are the most recent ones.
+	if evs[len(evs)-1].Seq != 12 {
+		t.Errorf("last seq = %d, want 12", evs[len(evs)-1].Seq)
+	}
+}
+
+func TestAnalyzeCleanTrace(t *testing.T) {
+	f := newFixture(0)
+	th := f.thread(t)
+	a := f.heap.New("A")
+	b := f.heap.New("B")
+	// Consistent ordering a->b, twice.
+	for i := 0; i < 2; i++ {
+		f.tr.Lock(th, a)
+		f.tr.Lock(th, b)
+		_ = f.tr.Unlock(th, b)
+		_ = f.tr.Unlock(th, a)
+	}
+	rep := Analyze(f.tr.Events())
+	if rep.HasHazards() {
+		t.Fatalf("clean trace reported hazards:\n%s", rep)
+	}
+	if len(rep.Edges) != 1 || rep.Edges[0].From != a.ID() || rep.Edges[0].To != b.ID() {
+		t.Fatalf("edges = %+v", rep.Edges)
+	}
+	if len(rep.Edges[0].Threads) != 1 || rep.Edges[0].Threads[0] != th.Index() {
+		t.Fatalf("edge threads = %v", rep.Edges[0].Threads)
+	}
+}
+
+func TestAnalyzeDetectsLockOrderInversion(t *testing.T) {
+	f := newFixture(0)
+	t1, t2 := f.thread(t), f.thread(t)
+	a := f.heap.New("A")
+	b := f.heap.New("B")
+
+	// t1: a then b; t2: b then a — sequentially, so no actual deadlock,
+	// but the classic inversion the analysis must flag.
+	f.tr.Lock(t1, a)
+	f.tr.Lock(t1, b)
+	_ = f.tr.Unlock(t1, b)
+	_ = f.tr.Unlock(t1, a)
+
+	f.tr.Lock(t2, b)
+	f.tr.Lock(t2, a)
+	_ = f.tr.Unlock(t2, a)
+	_ = f.tr.Unlock(t2, b)
+
+	rep := Analyze(f.tr.Events())
+	if len(rep.Cycles) != 1 {
+		t.Fatalf("cycles = %d, want 1:\n%s", len(rep.Cycles), rep)
+	}
+	if !rep.HasHazards() {
+		t.Fatal("inversion not reported as hazard")
+	}
+	s := rep.String()
+	if !strings.Contains(s, "lock-order inversion") {
+		t.Errorf("report missing inversion line:\n%s", s)
+	}
+	cyc := rep.Cycles[0].String()
+	if !strings.Contains(cyc, "->") {
+		t.Errorf("cycle rendering = %q", cyc)
+	}
+}
+
+func TestAnalyzeRecursiveLockingIsNotAnEdge(t *testing.T) {
+	f := newFixture(0)
+	th := f.thread(t)
+	o := f.heap.New("X")
+	f.tr.Lock(th, o)
+	f.tr.Lock(th, o) // recursive
+	_ = f.tr.Unlock(th, o)
+	_ = f.tr.Unlock(th, o)
+	rep := Analyze(f.tr.Events())
+	if len(rep.Edges) != 0 || len(rep.Cycles) != 0 {
+		t.Fatalf("recursive locking created edges: %+v", rep.Edges)
+	}
+	if rep.HasHazards() {
+		t.Fatal("recursive locking flagged as hazard")
+	}
+}
+
+func TestAnalyzeUnbalancedTrace(t *testing.T) {
+	f := newFixture(0)
+	th := f.thread(t)
+	o := f.heap.New("X")
+	f.tr.Lock(th, o) // never released
+	rep := Analyze(f.tr.Events())
+	if len(rep.Unbalanced) != 1 {
+		t.Fatalf("unbalanced = %v", rep.Unbalanced)
+	}
+	if got := rep.Unbalanced[th.Index()]; len(got) != 1 || got[0] != o.ID() {
+		t.Fatalf("unbalanced[%d] = %v", th.Index(), got)
+	}
+	if !strings.Contains(rep.String(), "ends holding") {
+		t.Errorf("report = %q", rep.String())
+	}
+	_ = f.tr.Unlock(th, o)
+}
+
+func TestAnalyzeThreeWayCycle(t *testing.T) {
+	f := newFixture(0)
+	th := f.thread(t)
+	a := f.heap.New("A")
+	b := f.heap.New("B")
+	c := f.heap.New("C")
+	pairs := [][2]*object.Object{{a, b}, {b, c}, {c, a}}
+	for _, p := range pairs {
+		f.tr.Lock(th, p[0])
+		f.tr.Lock(th, p[1])
+		_ = f.tr.Unlock(th, p[1])
+		_ = f.tr.Unlock(th, p[0])
+	}
+	rep := Analyze(f.tr.Events())
+	if len(rep.Cycles) != 1 {
+		t.Fatalf("cycles = %d, want 1", len(rep.Cycles))
+	}
+	if len(rep.Cycles[0].Objects) != 3 {
+		t.Fatalf("cycle length = %d, want 3", len(rep.Cycles[0].Objects))
+	}
+}
+
+func TestTracerConcurrentUse(t *testing.T) {
+	f := newFixture(0)
+	o := f.heap.New("X")
+	const goroutines, iters = 6, 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		th := f.thread(t)
+		wg.Add(1)
+		go func(th *threading.Thread) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				f.tr.Lock(th, o)
+				if err := f.tr.Unlock(th, o); err != nil {
+					t.Error(err)
+				}
+			}
+		}(th)
+	}
+	wg.Wait()
+	evs := f.tr.Events()
+	if len(evs) != goroutines*iters*2 {
+		t.Fatalf("events = %d, want %d", len(evs), goroutines*iters*2)
+	}
+	rep := Analyze(evs)
+	if rep.HasHazards() {
+		t.Fatalf("hazards in balanced concurrent trace:\n%s", rep)
+	}
+}
+
+func TestEventKindStrings(t *testing.T) {
+	for k, want := range map[EventKind]string{
+		EvAcquire: "acquire", EvRelease: "release",
+		EvWait: "wait", EvNotify: "notify", EventKind(9): "unknown",
+	} {
+		if k.String() != want {
+			t.Errorf("EventKind(%d) = %q, want %q", k, k.String(), want)
+		}
+	}
+}

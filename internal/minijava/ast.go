@@ -1,0 +1,205 @@
+package minijava
+
+// The abstract syntax tree. Nodes carry the source position of their
+// introducing token for error reporting.
+
+// Program is a parsed compilation unit.
+type Program struct {
+	Classes []*ClassDecl
+	Funcs   []*FuncDecl
+}
+
+// ClassDecl declares a class with integer fields and methods.
+type ClassDecl struct {
+	Name    string
+	Fields  []string
+	Methods []*MethodDecl
+	Line    int
+	Col     int
+}
+
+// Param is a parameter declaration; Class is "" for int parameters.
+type Param struct {
+	Name  string
+	Class string
+	Line  int
+	Col   int
+}
+
+// MethodDecl declares a method.
+type MethodDecl struct {
+	Name   string
+	Sync   bool
+	Params []Param
+	Body   *Block
+	Line   int
+	Col    int
+}
+
+// FuncDecl declares a top-level function (static, no receiver).
+type FuncDecl struct {
+	Name   string
+	Params []Param
+	Body   *Block
+	Line   int
+	Col    int
+}
+
+// Stmt is a statement node.
+type Stmt interface{ stmtNode() }
+
+// Block is a brace-delimited statement list with its own scope.
+type Block struct {
+	Stmts []Stmt
+}
+
+// VarStmt declares and initializes a local variable.
+type VarStmt struct {
+	Name string
+	Init Expr
+	Line int
+	Col  int
+}
+
+// AssignStmt assigns to a local variable or a field of `this`/an object.
+type AssignStmt struct {
+	Target Expr // IdentExpr or FieldExpr
+	Value  Expr
+	Line   int
+	Col    int
+}
+
+// IfStmt is if/else.
+type IfStmt struct {
+	Cond Expr
+	Then *Block
+	Else *Block // may be nil
+}
+
+// WhileStmt is a while loop.
+type WhileStmt struct {
+	Cond Expr
+	Body *Block
+}
+
+// ReturnStmt returns an integer value.
+type ReturnStmt struct {
+	Value Expr
+	Line  int
+	Col   int
+}
+
+// ExprStmt evaluates an expression for effect (a call).
+type ExprStmt struct {
+	X Expr
+}
+
+// SyncStmt is `synchronized (expr) block`.
+type SyncStmt struct {
+	Lock Expr
+	Body *Block
+	Line int
+	Col  int
+}
+
+// ThrowStmt is `throw expr;` — the thrown value is an int code.
+type ThrowStmt struct {
+	Value Expr
+	Line  int
+	Col   int
+}
+
+// TryStmt is `try block catch (name) block`; the catch binds the thrown
+// value to an int variable.
+type TryStmt struct {
+	Body  *Block
+	Name  string
+	Catch *Block
+	Line  int
+	Col   int
+}
+
+func (*Block) stmtNode()      {}
+func (*VarStmt) stmtNode()    {}
+func (*AssignStmt) stmtNode() {}
+func (*IfStmt) stmtNode()     {}
+func (*WhileStmt) stmtNode()  {}
+func (*ReturnStmt) stmtNode() {}
+func (*ExprStmt) stmtNode()   {}
+func (*SyncStmt) stmtNode()   {}
+func (*ThrowStmt) stmtNode()  {}
+func (*TryStmt) stmtNode()    {}
+
+// Expr is an expression node.
+type Expr interface {
+	exprNode()
+	pos() (int, int)
+}
+
+// NumExpr is an integer literal.
+type NumExpr struct {
+	Value int64
+	Line  int
+	Col   int
+}
+
+// IdentExpr names a local variable or parameter.
+type IdentExpr struct {
+	Name string
+	Line int
+	Col  int
+}
+
+// ThisExpr is the receiver inside a method.
+type ThisExpr struct {
+	Line int
+	Col  int
+}
+
+// NewExpr instantiates a class.
+type NewExpr struct {
+	Class string
+	Line  int
+	Col   int
+}
+
+// FieldExpr reads obj.field.
+type FieldExpr struct {
+	Obj   Expr
+	Field string
+	Line  int
+	Col   int
+}
+
+// CallExpr invokes obj.method(args...) or a top-level func(args...).
+type CallExpr struct {
+	Obj    Expr // nil for top-level function calls
+	Method string
+	Args   []Expr
+	Line   int
+	Col    int
+}
+
+// BinExpr is a binary operation; Op is the operator token kind.
+type BinExpr struct {
+	Op   tokKind
+	L, R Expr
+	Line int
+	Col  int
+}
+
+func (*NumExpr) exprNode()   {}
+func (*IdentExpr) exprNode() {}
+func (*ThisExpr) exprNode()  {}
+func (*NewExpr) exprNode()   {}
+func (*FieldExpr) exprNode() {}
+func (*CallExpr) exprNode()  {}
+func (*BinExpr) exprNode()   {}
+
+func (e *NumExpr) pos() (int, int)   { return e.Line, e.Col }
+func (e *IdentExpr) pos() (int, int) { return e.Line, e.Col }
+func (e *ThisExpr) pos() (int, int)  { return e.Line, e.Col }
+func (e *NewExpr) pos() (int, int)   { return e.Line, e.Col }
+func (e *FieldExpr) pos() (int, int) { return e.Line, e.Col }
+func (e *CallExpr) pos() (int, int)  { return e.Line, e.Col }
+func (e *BinExpr) pos() (int, int)   { return e.Line, e.Col }

@@ -1,0 +1,684 @@
+package minijava
+
+import (
+	"fmt"
+
+	"thinlock/internal/vm"
+)
+
+// ty is an expression type: the zero value is int; otherwise a class
+// reference.
+type ty struct {
+	class string
+}
+
+var tyInt = ty{}
+
+func (t ty) isInt() bool { return t.class == "" }
+
+func (t ty) String() string {
+	if t.isInt() {
+		return "int"
+	}
+	return t.class
+}
+
+// Compile parses and compiles source text to a verified VM program.
+// Classes become vm.Classes; methods and top-level functions become
+// vm.Methods (synchronized methods carry vm.FlagSync; `synchronized`
+// statements compile to monitorenter/monitorexit pairs around the body).
+func Compile(src string) (*vm.Program, error) {
+	ast, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	c := &compiler{
+		prog:    vm.NewProgram(),
+		classes: make(map[string]*classInfo),
+		funcs:   make(map[string]int),
+		sigs:    make(map[int][]ty),
+	}
+	return c.compile(ast)
+}
+
+// classInfo is the symbol-table entry for a class.
+type classInfo struct {
+	decl    *ClassDecl
+	vmClass *vm.Class
+	index   int            // class index in the program
+	fields  map[string]int // field name -> slot
+	methods map[string]int // method name -> program method index
+}
+
+type compiler struct {
+	prog    *vm.Program
+	classes map[string]*classInfo
+	funcs   map[string]int // top-level function name -> method index
+	// sigs records the parameter types (receiver excluded) of every
+	// method index, for call-site type checking.
+	sigs map[int][]ty
+}
+
+func (c *compiler) compile(ast *Program) (*vm.Program, error) {
+	// Pass 1: declare classes, fields, and method/function signatures so
+	// bodies can reference anything declared anywhere in the unit.
+	for _, cd := range ast.Classes {
+		if _, dup := c.classes[cd.Name]; dup {
+			return nil, errf(cd.Line, cd.Col, "duplicate class %q", cd.Name)
+		}
+		info := &classInfo{
+			decl:    cd,
+			vmClass: &vm.Class{Name: cd.Name, NumFields: len(cd.Fields)},
+			fields:  make(map[string]int),
+			methods: make(map[string]int),
+		}
+		for i, f := range cd.Fields {
+			if _, dup := info.fields[f]; dup {
+				return nil, errf(cd.Line, cd.Col, "duplicate field %q in class %q", f, cd.Name)
+			}
+			info.fields[f] = i
+		}
+		info.index = c.prog.AddClass(info.vmClass)
+		c.classes[cd.Name] = info
+	}
+	for _, cd := range ast.Classes {
+		info := c.classes[cd.Name]
+		for _, md := range cd.Methods {
+			if _, dup := info.methods[md.Name]; dup {
+				return nil, errf(md.Line, md.Col, "duplicate method %q in class %q", md.Name, cd.Name)
+			}
+			flags := vm.FlagReturnsValue
+			if md.Sync {
+				flags |= vm.FlagSync
+			}
+			m := &vm.Method{
+				Name:    md.Name,
+				Class:   info.vmClass,
+				Flags:   flags,
+				NumArgs: 1 + len(md.Params), // receiver + params
+			}
+			idx := c.prog.AddMethod(m)
+			info.methods[md.Name] = idx
+			sig, err := c.paramTypes(md.Params)
+			if err != nil {
+				return nil, err
+			}
+			c.sigs[idx] = sig
+		}
+	}
+	for _, fd := range ast.Funcs {
+		if _, dup := c.funcs[fd.Name]; dup {
+			return nil, errf(fd.Line, fd.Col, "duplicate function %q", fd.Name)
+		}
+		m := &vm.Method{
+			Name:    fd.Name,
+			Flags:   vm.FlagStatic | vm.FlagReturnsValue,
+			NumArgs: len(fd.Params),
+		}
+		idx := c.prog.AddMethod(m)
+		c.funcs[fd.Name] = idx
+		sig, err := c.paramTypes(fd.Params)
+		if err != nil {
+			return nil, err
+		}
+		c.sigs[idx] = sig
+	}
+
+	// Pass 2: compile bodies.
+	for _, cd := range ast.Classes {
+		info := c.classes[cd.Name]
+		for _, md := range cd.Methods {
+			m := c.prog.Methods[info.methods[md.Name]]
+			if err := c.compileBody(m, info, md.Params, md.Body); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, fd := range ast.Funcs {
+		m := c.prog.Methods[c.funcs[fd.Name]]
+		if err := c.compileBody(m, nil, fd.Params, fd.Body); err != nil {
+			return nil, err
+		}
+	}
+	return c.prog, nil
+}
+
+// fnScope holds the state for compiling one body.
+type fnScope struct {
+	c        *compiler
+	asm      *vm.Asm
+	class    *classInfo // nil for top-level functions
+	scopes   []map[string]localVar
+	nextSlot int
+	maxSlot  int
+	labels   int
+	syncTmps []int // local slots of enclosing `synchronized` lock objects
+}
+
+type localVar struct {
+	slot int
+	ty   ty
+}
+
+// paramTypes resolves parameter annotations into types.
+func (c *compiler) paramTypes(params []Param) ([]ty, error) {
+	sig := make([]ty, len(params))
+	for i, p := range params {
+		if p.Class != "" {
+			if _, ok := c.classes[p.Class]; !ok {
+				return nil, errf(p.Line, p.Col, "unknown class %q in parameter %q", p.Class, p.Name)
+			}
+			sig[i] = ty{class: p.Class}
+		}
+	}
+	return sig, nil
+}
+
+// compileBody fills in m's Code and MaxLocals.
+func (c *compiler) compileBody(m *vm.Method, class *classInfo, params []Param, body *Block) error {
+	fs := &fnScope{c: c, asm: vm.NewAsm(), class: class}
+	fs.pushScope()
+	if class != nil {
+		// Receiver occupies slot 0 under the name `this` (reached via
+		// ThisExpr, not by identifier lookup).
+		fs.alloc()
+	}
+	sig, err := c.paramTypes(params)
+	if err != nil {
+		return err
+	}
+	for i, p := range params {
+		if err := fs.declare(p.Name, sig[i], p.Line, p.Col); err != nil {
+			return err
+		}
+	}
+	if err = fs.block(body); err != nil {
+		return err
+	}
+	// Implicit `return 0` for bodies whose control can fall off the end;
+	// unreachable when every path returns explicitly.
+	fs.asm.Iconst(0).IReturn()
+	code, handlers, err := fs.asm.BuildWithHandlers()
+	if err != nil {
+		return err
+	}
+	m.Code = code
+	m.Handlers = handlers
+	m.MaxLocals = fs.maxSlot
+	return nil
+}
+
+func (fs *fnScope) pushScope() {
+	fs.scopes = append(fs.scopes, make(map[string]localVar))
+}
+
+func (fs *fnScope) popScope() {
+	fs.scopes = fs.scopes[:len(fs.scopes)-1]
+}
+
+// alloc reserves the next local slot.
+func (fs *fnScope) alloc() int {
+	slot := fs.nextSlot
+	fs.nextSlot++
+	if fs.nextSlot > fs.maxSlot {
+		fs.maxSlot = fs.nextSlot
+	}
+	return slot
+}
+
+// declare binds a new name in the innermost scope.
+func (fs *fnScope) declare(name string, t ty, line, col int) error {
+	top := fs.scopes[len(fs.scopes)-1]
+	if _, dup := top[name]; dup {
+		return errf(line, col, "duplicate variable %q", name)
+	}
+	top[name] = localVar{slot: fs.alloc(), ty: t}
+	return nil
+}
+
+// lookup resolves a name through the scope stack.
+func (fs *fnScope) lookup(name string) (localVar, bool) {
+	for i := len(fs.scopes) - 1; i >= 0; i-- {
+		if v, ok := fs.scopes[i][name]; ok {
+			return v, true
+		}
+	}
+	return localVar{}, false
+}
+
+func (fs *fnScope) newLabel(prefix string) string {
+	fs.labels++
+	return fmt.Sprintf("%s%d", prefix, fs.labels)
+}
+
+// block compiles a block in its own scope. Slots are not reused after the
+// scope closes, which keeps slot/type assignments unambiguous for the
+// verifier at the cost of a few extra frame slots.
+func (fs *fnScope) block(b *Block) error {
+	fs.pushScope()
+	defer fs.popScope()
+	for _, s := range b.Stmts {
+		if err := fs.stmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (fs *fnScope) stmt(s Stmt) error {
+	switch s := s.(type) {
+	case *Block:
+		return fs.block(s)
+
+	case *VarStmt:
+		t, err := fs.expr(s.Init)
+		if err != nil {
+			return err
+		}
+		if err := fs.declare(s.Name, t, s.Line, s.Col); err != nil {
+			return err
+		}
+		v, _ := fs.lookup(s.Name)
+		if t.isInt() {
+			fs.asm.Istore(int32(v.slot))
+		} else {
+			fs.asm.Astore(int32(v.slot))
+		}
+		return nil
+
+	case *AssignStmt:
+		switch target := s.Target.(type) {
+		case *IdentExpr:
+			v, ok := fs.lookup(target.Name)
+			if !ok {
+				return errf(target.Line, target.Col, "undefined variable %q", target.Name)
+			}
+			t, err := fs.expr(s.Value)
+			if err != nil {
+				return err
+			}
+			if t != v.ty {
+				return errf(s.Line, s.Col, "cannot assign %v to %q (%v)", t, target.Name, v.ty)
+			}
+			if t.isInt() {
+				fs.asm.Istore(int32(v.slot))
+			} else {
+				fs.asm.Astore(int32(v.slot))
+			}
+			return nil
+		case *FieldExpr:
+			_, slot, err := fs.fieldRef(target)
+			if err != nil {
+				return err
+			}
+			t, err := fs.expr(s.Value)
+			if err != nil {
+				return err
+			}
+			if !t.isInt() {
+				return errf(s.Line, s.Col, "fields hold int values, not %v", t)
+			}
+			fs.asm.PutField(int32(slot))
+			return nil
+		default:
+			return errf(s.Line, s.Col, "invalid assignment target")
+		}
+
+	case *IfStmt:
+		elseL := fs.newLabel("else")
+		endL := fs.newLabel("endif")
+		if err := fs.cond(s.Cond, elseL); err != nil {
+			return err
+		}
+		if err := fs.block(s.Then); err != nil {
+			return err
+		}
+		fs.asm.Goto(endL)
+		fs.asm.Label(elseL)
+		if s.Else != nil {
+			if err := fs.block(s.Else); err != nil {
+				return err
+			}
+		}
+		fs.asm.Label(endL)
+		return nil
+
+	case *WhileStmt:
+		loopL := fs.newLabel("loop")
+		endL := fs.newLabel("endloop")
+		fs.asm.Label(loopL)
+		if err := fs.cond(s.Cond, endL); err != nil {
+			return err
+		}
+		if err := fs.block(s.Body); err != nil {
+			return err
+		}
+		fs.asm.Goto(loopL)
+		fs.asm.Label(endL)
+		return nil
+
+	case *ReturnStmt:
+		t, err := fs.expr(s.Value)
+		if err != nil {
+			return err
+		}
+		if !t.isInt() {
+			return errf(s.Line, s.Col, "functions return int values, not %v", t)
+		}
+		// Returning from inside `synchronized` blocks releases each
+		// enclosing lock, innermost first, after the return value is
+		// evaluated — Java's abrupt-completion semantics.
+		for i := len(fs.syncTmps) - 1; i >= 0; i-- {
+			fs.asm.Aload(int32(fs.syncTmps[i])).MonitorExit()
+		}
+		fs.asm.IReturn()
+		return nil
+
+	case *ExprStmt:
+		if _, err := fs.expr(s.X); err != nil {
+			return err
+		}
+		fs.asm.Pop()
+		return nil
+
+	case *SyncStmt:
+		t, err := fs.expr(s.Lock)
+		if err != nil {
+			return err
+		}
+		if t.isInt() {
+			return errf(s.Line, s.Col, "synchronized needs an object, not int")
+		}
+		tmp := fs.alloc() // anonymous slot holding the locked object
+		fs.asm.Astore(int32(tmp))
+		fs.asm.Aload(int32(tmp)).MonitorEnter()
+		// Protect the body with an unlock-and-rethrow handler, exactly
+		// as javac compiles synchronized blocks, so an exception cannot
+		// leave the lock held.
+		startL := fs.newLabel("syncstart")
+		endL := fs.newLabel("syncend")
+		handlerL := fs.newLabel("synchandler")
+		doneL := fs.newLabel("syncdone")
+		fs.asm.Label(startL)
+		bodyStart := fs.asm.Pos()
+		fs.syncTmps = append(fs.syncTmps, tmp)
+		err = fs.block(s.Body)
+		fs.syncTmps = fs.syncTmps[:len(fs.syncTmps)-1]
+		if err != nil {
+			return err
+		}
+		nonEmpty := fs.asm.Pos() > bodyStart
+		fs.asm.Label(endL)
+		fs.asm.Aload(int32(tmp)).MonitorExit()
+		if nonEmpty {
+			// An empty body cannot throw, and the verifier rejects
+			// empty handler ranges, so protect only real bodies.
+			fs.asm.Goto(doneL)
+			fs.asm.Label(handlerL)
+			fs.asm.Aload(int32(tmp)).MonitorExit()
+			fs.asm.Throw()
+			fs.asm.Label(doneL)
+			fs.asm.Protect(startL, endL, handlerL)
+		}
+		return nil
+
+	case *ThrowStmt:
+		t, err := fs.expr(s.Value)
+		if err != nil {
+			return err
+		}
+		if !t.isInt() {
+			return errf(s.Line, s.Col, "throw needs an int exception code, not %v", t)
+		}
+		fs.asm.Throw()
+		return nil
+
+	case *TryStmt:
+		startL := fs.newLabel("trystart")
+		endL := fs.newLabel("tryend")
+		handlerL := fs.newLabel("catch")
+		doneL := fs.newLabel("trydone")
+		fs.asm.Label(startL)
+		bodyStart := fs.asm.Pos()
+		if err := fs.block(s.Body); err != nil {
+			return err
+		}
+		if fs.asm.Pos() == bodyStart {
+			// An empty try body cannot throw: the catch is dead code.
+			return nil
+		}
+		fs.asm.Label(endL)
+		fs.asm.Goto(doneL)
+		fs.asm.Label(handlerL)
+		// Bind the thrown value to the catch variable in its own scope.
+		fs.pushScope()
+		if err := fs.declare(s.Name, tyInt, s.Line, s.Col); err != nil {
+			fs.popScope()
+			return err
+		}
+		v, _ := fs.lookup(s.Name)
+		fs.asm.Istore(int32(v.slot))
+		err := fs.block(s.Catch)
+		fs.popScope()
+		if err != nil {
+			return err
+		}
+		fs.asm.Label(doneL)
+		fs.asm.Protect(startL, endL, handlerL)
+		return nil
+
+	default:
+		return fmt.Errorf("minijava: unknown statement %T", s)
+	}
+}
+
+// cond compiles a boolean context: fall through when true, jump to
+// falseLabel when false.
+func (fs *fnScope) cond(e Expr, falseLabel string) error {
+	t, err := fs.expr(e)
+	if err != nil {
+		return err
+	}
+	if !t.isInt() {
+		line, col := e.pos()
+		return errf(line, col, "condition must be int (0 = false), not %v", t)
+	}
+	fs.asm.IfEQ(falseLabel)
+	return nil
+}
+
+// fieldRef compiles the object part of a field access and resolves the
+// field slot.
+func (fs *fnScope) fieldRef(f *FieldExpr) (*classInfo, int, error) {
+	t, err := fs.expr(f.Obj)
+	if err != nil {
+		return nil, 0, err
+	}
+	if t.isInt() {
+		return nil, 0, errf(f.Line, f.Col, "int has no field %q", f.Field)
+	}
+	info := fs.c.classes[t.class]
+	slot, ok := info.fields[f.Field]
+	if !ok {
+		return nil, 0, errf(f.Line, f.Col, "class %q has no field %q", t.class, f.Field)
+	}
+	return info, slot, nil
+}
+
+// expr compiles an expression, leaving its value on the stack, and
+// returns its type.
+func (fs *fnScope) expr(e Expr) (ty, error) {
+	switch e := e.(type) {
+	case *NumExpr:
+		fs.asm.Iconst(int32(e.Value))
+		return tyInt, nil
+
+	case *IdentExpr:
+		v, ok := fs.lookup(e.Name)
+		if !ok {
+			return ty{}, errf(e.Line, e.Col, "undefined variable %q", e.Name)
+		}
+		if v.ty.isInt() {
+			fs.asm.Iload(int32(v.slot))
+		} else {
+			fs.asm.Aload(int32(v.slot))
+		}
+		return v.ty, nil
+
+	case *ThisExpr:
+		if fs.class == nil {
+			return ty{}, errf(e.Line, e.Col, "'this' outside a method")
+		}
+		fs.asm.Aload(0)
+		return ty{class: fs.class.decl.Name}, nil
+
+	case *NewExpr:
+		info, ok := fs.c.classes[e.Class]
+		if !ok {
+			return ty{}, errf(e.Line, e.Col, "unknown class %q", e.Class)
+		}
+		fs.asm.New(int32(info.index))
+		return ty{class: e.Class}, nil
+
+	case *FieldExpr:
+		_, slot, err := fs.fieldRef(e)
+		if err != nil {
+			return ty{}, err
+		}
+		fs.asm.GetField(int32(slot))
+		return tyInt, nil
+
+	case *CallExpr:
+		return fs.call(e)
+
+	case *BinExpr:
+		return fs.binary(e)
+
+	default:
+		return ty{}, fmt.Errorf("minijava: unknown expression %T", e)
+	}
+}
+
+func (fs *fnScope) call(e *CallExpr) (ty, error) {
+	var midx int
+	var want int
+	if e.Obj == nil {
+		// Top-level function call.
+		idx, ok := fs.c.funcs[e.Method]
+		if !ok {
+			return ty{}, errf(e.Line, e.Col, "unknown function %q", e.Method)
+		}
+		midx = idx
+		want = fs.c.prog.Methods[idx].NumArgs
+	} else {
+		t, err := fs.expr(e.Obj) // receiver on the stack
+		if err != nil {
+			return ty{}, err
+		}
+		if t.isInt() {
+			return ty{}, errf(e.Line, e.Col, "int has no method %q", e.Method)
+		}
+		info := fs.c.classes[t.class]
+		idx, ok := info.methods[e.Method]
+		if !ok {
+			return ty{}, errf(e.Line, e.Col, "class %q has no method %q", t.class, e.Method)
+		}
+		midx = idx
+		want = fs.c.prog.Methods[idx].NumArgs - 1
+	}
+	if len(e.Args) != want {
+		return ty{}, errf(e.Line, e.Col, "%q takes %d argument(s), got %d", e.Method, want, len(e.Args))
+	}
+	sig := fs.c.sigs[midx]
+	for i, a := range e.Args {
+		t, err := fs.expr(a)
+		if err != nil {
+			return ty{}, err
+		}
+		if t != sig[i] {
+			line, col := a.pos()
+			return ty{}, errf(line, col, "argument %d of %q must be %v, got %v", i+1, e.Method, sig[i], t)
+		}
+	}
+	fs.asm.Invoke(int32(midx))
+	return tyInt, nil
+}
+
+func (fs *fnScope) binary(e *BinExpr) (ty, error) {
+	compileInts := func(l, r Expr) error {
+		lt, err := fs.expr(l)
+		if err != nil {
+			return err
+		}
+		if !lt.isInt() {
+			line, col := l.pos()
+			return errf(line, col, "operator needs int operands, got %v", lt)
+		}
+		rt, err := fs.expr(r)
+		if err != nil {
+			return err
+		}
+		if !rt.isInt() {
+			line, col := r.pos()
+			return errf(line, col, "operator needs int operands, got %v", rt)
+		}
+		return nil
+	}
+
+	switch e.Op {
+	case tokPlus, tokMinus, tokStar:
+		if err := compileInts(e.L, e.R); err != nil {
+			return ty{}, err
+		}
+		switch e.Op {
+		case tokPlus:
+			fs.asm.Iadd()
+		case tokMinus:
+			fs.asm.Isub()
+		case tokStar:
+			fs.asm.Imul()
+		}
+		return tyInt, nil
+
+	case tokLT, tokLE, tokGT, tokGE:
+		// Normalize to the VM's if_icmplt / if_icmpge by swapping
+		// operands for > and <=.
+		l, r := e.L, e.R
+		op := e.Op
+		if op == tokGT {
+			l, r, op = r, l, tokLT
+		} else if op == tokLE {
+			l, r, op = r, l, tokGE
+		}
+		if err := compileInts(l, r); err != nil {
+			return ty{}, err
+		}
+		trueL := fs.newLabel("true")
+		endL := fs.newLabel("endcmp")
+		if op == tokLT {
+			fs.asm.IfICmpLT(trueL)
+		} else {
+			fs.asm.IfICmpGE(trueL)
+		}
+		fs.asm.Iconst(0).Goto(endL).Label(trueL).Iconst(1).Label(endL)
+		return tyInt, nil
+
+	case tokEQ, tokNE:
+		if err := compileInts(e.L, e.R); err != nil {
+			return ty{}, err
+		}
+		fs.asm.Isub()
+		trueL := fs.newLabel("true")
+		endL := fs.newLabel("endcmp")
+		if e.Op == tokEQ {
+			fs.asm.IfEQ(trueL)
+		} else {
+			fs.asm.IfNE(trueL)
+		}
+		fs.asm.Iconst(0).Goto(endL).Label(trueL).Iconst(1).Label(endL)
+		return tyInt, nil
+
+	default:
+		return ty{}, errf(e.Line, e.Col, "unknown operator")
+	}
+}

@@ -1,0 +1,57 @@
+package minijava
+
+import (
+	"testing"
+
+	"thinlock/internal/core"
+	"thinlock/internal/object"
+	"thinlock/internal/vm"
+)
+
+// FuzzCompile checks two properties over arbitrary source text: the
+// compiler never panics, and anything it accepts assembles into a program
+// the VM verifier also accepts (the compiler emits only verifiable code).
+func FuzzCompile(f *testing.F) {
+	seeds := []string{
+		"",
+		"func main() { return 0; }",
+		"func main() { return 1 + 2 * 3; }",
+		"class C { field f; sync method m(n) { this.f = n; return n; } } func main() { var c = new C; return c.m(7); }",
+		"func main() { var i = 0; while (i < 10) { i = i + 1; } return i; }",
+		"func main() { synchronized (new Object) { } return 0; }",
+		"class A { method x() { return 0; } } func g(a: A) { return a.x(); } func main() { return g(new A); }",
+		"func main() { if (1 < 2) { return 3; } else { return 4; } }",
+		"func main( { return 0; }",
+		"class { }",
+		"func main() { return 99999999999999999999; }",
+		"func main() { return ((((1)))); }",
+		"// just a comment",
+		"func main() { var x = -(-(-1)); return x; }",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		// Property 1: parseable source must print to a parse/print
+		// fixpoint.
+		if ast, err := Parse(src); err == nil {
+			once := Format(ast)
+			ast2, err := Parse(once)
+			if err != nil {
+				t.Fatalf("printer emitted unparseable text: %v\nsource:\n%s\nprinted:\n%s", err, src, once)
+			}
+			if twice := Format(ast2); twice != once {
+				t.Fatalf("printer is not a fixpoint\nsource:\n%s\nonce:\n%s\ntwice:\n%s", src, once, twice)
+			}
+		}
+		// Property 2: anything the compiler accepts must pass the VM
+		// verifier.
+		prog, err := Compile(src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		if _, err := vm.New(prog, core.NewDefault(), object.NewHeap()); err != nil {
+			t.Fatalf("compiler accepted source the verifier rejects: %v\nsource:\n%s", err, src)
+		}
+	})
+}

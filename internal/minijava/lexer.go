@@ -1,0 +1,160 @@
+package minijava
+
+// lexer turns source text into tokens.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+// lexAll scans the entire input, ending with a tokEOF token.
+func lexAll(src string) ([]token, error) {
+	lx := newLexer(src)
+	var toks []token
+	for {
+		t, err := lx.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.kind == tokEOF {
+			return toks, nil
+		}
+	}
+}
+
+func (lx *lexer) peekByte() (byte, bool) {
+	if lx.pos >= len(lx.src) {
+		return 0, false
+	}
+	return lx.src[lx.pos], true
+}
+
+func (lx *lexer) advance() byte {
+	c := lx.src[lx.pos]
+	lx.pos++
+	if c == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return c
+}
+
+func isLetter(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// next scans one token.
+func (lx *lexer) next() (token, error) {
+	// Skip whitespace and // comments.
+	for {
+		c, ok := lx.peekByte()
+		if !ok {
+			return token{kind: tokEOF, line: lx.line, col: lx.col}, nil
+		}
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			lx.advance()
+		case c == '/' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '/':
+			for {
+				c, ok := lx.peekByte()
+				if !ok || c == '\n' {
+					break
+				}
+				lx.advance()
+			}
+		default:
+			goto scan
+		}
+	}
+scan:
+	line, col := lx.line, lx.col
+	c := lx.advance()
+
+	switch {
+	case isLetter(c):
+		start := lx.pos - 1
+		for {
+			c, ok := lx.peekByte()
+			if !ok || !(isLetter(c) || isDigit(c)) {
+				break
+			}
+			lx.advance()
+		}
+		text := lx.src[start:lx.pos]
+		if kind, ok := keywords[text]; ok {
+			return token{kind: kind, text: text, line: line, col: col}, nil
+		}
+		return token{kind: tokIdent, text: text, line: line, col: col}, nil
+
+	case isDigit(c):
+		n := int64(c - '0')
+		for {
+			c, ok := lx.peekByte()
+			if !ok || !isDigit(c) {
+				break
+			}
+			lx.advance()
+			n = n*10 + int64(c-'0')
+			if n > 1<<31 {
+				return token{}, errf(line, col, "integer literal too large")
+			}
+		}
+		return token{kind: tokNumber, num: n, line: line, col: col}, nil
+	}
+
+	two := func(next byte, yes, no tokKind) token {
+		if c, ok := lx.peekByte(); ok && c == next {
+			lx.advance()
+			return token{kind: yes, line: line, col: col}
+		}
+		return token{kind: no, line: line, col: col}
+	}
+
+	switch c {
+	case '{':
+		return token{kind: tokLBrace, line: line, col: col}, nil
+	case '}':
+		return token{kind: tokRBrace, line: line, col: col}, nil
+	case '(':
+		return token{kind: tokLParen, line: line, col: col}, nil
+	case ')':
+		return token{kind: tokRParen, line: line, col: col}, nil
+	case ';':
+		return token{kind: tokSemi, line: line, col: col}, nil
+	case ':':
+		return token{kind: tokColon, line: line, col: col}, nil
+	case ',':
+		return token{kind: tokComma, line: line, col: col}, nil
+	case '.':
+		return token{kind: tokDot, line: line, col: col}, nil
+	case '+':
+		return token{kind: tokPlus, line: line, col: col}, nil
+	case '-':
+		return token{kind: tokMinus, line: line, col: col}, nil
+	case '*':
+		return token{kind: tokStar, line: line, col: col}, nil
+	case '=':
+		return two('=', tokEQ, tokAssign), nil
+	case '<':
+		return two('=', tokLE, tokLT), nil
+	case '>':
+		return two('=', tokGE, tokGT), nil
+	case '!':
+		if c, ok := lx.peekByte(); ok && c == '=' {
+			lx.advance()
+			return token{kind: tokNE, line: line, col: col}, nil
+		}
+		return token{}, errf(line, col, "unexpected '!'")
+	}
+	return token{}, errf(line, col, "unexpected character %q", c)
+}

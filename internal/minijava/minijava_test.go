@@ -1,0 +1,397 @@
+package minijava
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"thinlock/internal/core"
+	"thinlock/internal/hotlocks"
+	"thinlock/internal/lockapi"
+	"thinlock/internal/monitorcache"
+	"thinlock/internal/object"
+	"thinlock/internal/threading"
+	"thinlock/internal/vm"
+)
+
+// run compiles src and executes fn("main") under the given locker.
+func run(t *testing.T, src string, l lockapi.Locker) int64 {
+	t.Helper()
+	prog, err := Compile(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	machine, err := vm.New(prog, l, object.NewHeap())
+	if err != nil {
+		t.Fatalf("vm: %v", err)
+	}
+	reg := threading.NewRegistry()
+	th, err := reg.Attach("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := machine.Run(th, "main")
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return res.I
+}
+
+func runThin(t *testing.T, src string) int64 {
+	t.Helper()
+	return run(t, src, core.NewDefault())
+}
+
+func TestArithmeticAndPrecedence(t *testing.T) {
+	cases := []struct {
+		expr string
+		want int64
+	}{
+		{"1 + 2 * 3", 7},
+		{"(1 + 2) * 3", 9},
+		{"10 - 2 - 3", 5},
+		{"-4 + 10", 6},
+		{"2 * 3 * 4", 24},
+		{"7 - 2 * 3", 1},
+	}
+	for _, tc := range cases {
+		src := "func main() { return " + tc.expr + "; }"
+		if got := runThin(t, src); got != tc.want {
+			t.Errorf("%s = %d, want %d", tc.expr, got, tc.want)
+		}
+	}
+}
+
+func TestComparisons(t *testing.T) {
+	cases := []struct {
+		expr string
+		want int64
+	}{
+		{"1 < 2", 1}, {"2 < 1", 0}, {"1 < 1", 0},
+		{"1 <= 1", 1}, {"2 <= 1", 0},
+		{"2 > 1", 1}, {"1 > 2", 0},
+		{"1 >= 1", 1}, {"1 >= 2", 0},
+		{"3 == 3", 1}, {"3 == 4", 0},
+		{"3 != 4", 1}, {"3 != 3", 0},
+	}
+	for _, tc := range cases {
+		src := "func main() { return " + tc.expr + "; }"
+		if got := runThin(t, src); got != tc.want {
+			t.Errorf("%s = %d, want %d", tc.expr, got, tc.want)
+		}
+	}
+}
+
+func TestVariablesAndWhile(t *testing.T) {
+	src := `
+func main() {
+    var sum = 0;
+    var i = 1;
+    while (i <= 10) {
+        sum = sum + i;
+        i = i + 1;
+    }
+    return sum;
+}`
+	if got := runThin(t, src); got != 55 {
+		t.Fatalf("sum = %d, want 55", got)
+	}
+}
+
+func TestIfElse(t *testing.T) {
+	src := `
+func classify(n) {
+    if (n < 0) { return -1; }
+    if (n == 0) { return 0; } else { return 1; }
+}
+func main() {
+    return classify(-5) * 100 + classify(0) * 10 + classify(9);
+}`
+	if got := runThin(t, src); got != -99 {
+		t.Fatalf("got %d, want -99", got)
+	}
+}
+
+func TestFunctionsAndRecursion(t *testing.T) {
+	src := `
+func fib(n) {
+    if (n < 2) { return n; }
+    return fib(n - 1) + fib(n - 2);
+}
+func main() { return fib(15); }`
+	if got := runThin(t, src); got != 610 {
+		t.Fatalf("fib(15) = %d, want 610", got)
+	}
+}
+
+func TestClassesFieldsAndMethods(t *testing.T) {
+	src := `
+class Point {
+    field x;
+    field y;
+    method setX(v) { this.x = v; return v; }
+    method setY(v) { this.y = v; return v; }
+    method manhattan() { return this.x + this.y; }
+}
+func main() {
+    var p = new Point;
+    p.setX(3);
+    p.setY(4);
+    return p.manhattan();
+}`
+	if got := runThin(t, src); got != 7 {
+		t.Fatalf("manhattan = %d, want 7", got)
+	}
+}
+
+func TestSynchronizedMethodLocksReceiver(t *testing.T) {
+	src := `
+class Counter {
+    field value;
+    sync method add(n) { this.value = this.value + n; return this.value; }
+}
+func main() {
+    var c = new Counter;
+    var i = 0;
+    while (i < 100) { c.add(2); i = i + 1; }
+    return c.add(0);
+}`
+	l := core.NewDefault()
+	if got := run(t, src, l); got != 200 {
+		t.Fatalf("counter = %d, want 200", got)
+	}
+	if s := l.Stats(); s.Inflations() != 0 {
+		t.Errorf("single-threaded sync methods inflated %d locks", s.Inflations())
+	}
+}
+
+func TestSynchronizedStatement(t *testing.T) {
+	src := `
+class Box { field v; }
+func main() {
+    var b = new Box;
+    var total = 0;
+    var i = 0;
+    while (i < 50) {
+        synchronized (b) {
+            b.v = b.v + 1;
+            synchronized (b) {   // nested lock on the same object
+                total = total + b.v;
+            }
+        }
+        i = i + 1;
+    }
+    return total;
+}`
+	// total = 1+2+...+50 = 1275.
+	if got := runThin(t, src); got != 1275 {
+		t.Fatalf("total = %d, want 1275", got)
+	}
+}
+
+func TestObjectsAsLocalsAndArguments(t *testing.T) {
+	src := `
+class Cell {
+    field v;
+    method get() { return this.v; }
+    sync method set(x) { this.v = x; return x; }
+}
+func main() {
+    var a = new Cell;
+    var b = new Cell;
+    a.set(10);
+    b.set(20);
+    var c = a;        // object assignment
+    c.set(11);
+    return a.get() + b.get();
+}`
+	if got := runThin(t, src); got != 31 {
+		t.Fatalf("got %d, want 31", got)
+	}
+}
+
+func TestCompiledProgramAgreesAcrossLockers(t *testing.T) {
+	src := `
+class Acc {
+    field total;
+    sync method bump(n) { this.total = this.total + n; return this.total; }
+}
+func main() {
+    var a = new Acc;
+    var i = 0;
+    while (i < 200) {
+        synchronized (a) { a.bump(i); }
+        i = i + 1;
+    }
+    return a.bump(0);
+}`
+	want := run(t, src, core.NewDefault())
+	if got := run(t, src, monitorcache.NewDefault()); got != want {
+		t.Errorf("JDK111 result %d, want %d", got, want)
+	}
+	if got := run(t, src, hotlocks.NewDefault()); got != want {
+		t.Errorf("IBM112 result %d, want %d", got, want)
+	}
+	if want != 19900 {
+		t.Errorf("sum = %d, want 19900", want)
+	}
+}
+
+// TestCompiledContention runs a compiled synchronized method from many
+// goroutines: the full pipeline (source -> bytecode -> interpreter ->
+// thin locks) must preserve mutual exclusion.
+func TestCompiledContention(t *testing.T) {
+	src := `
+class Counter {
+    field value;
+    sync method inc() { this.value = this.value + 1; return this.value; }
+    method get() { return this.value; }
+}
+func hammer(c: Counter, n) {
+    var i = 0;
+    while (i < n) { c.inc(); i = i + 1; }
+    return 0;
+}`
+	prog, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := core.NewDefault()
+	machine, err := vm.New(prog, l, object.NewHeap())
+	if err != nil {
+		t.Fatal(err)
+	}
+	counter, err := machine.NewInstance("Counter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := threading.NewRegistry()
+	const goroutines, iters = 4, 300
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		th, err := reg.Attach("w")
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(th *threading.Thread) {
+			defer wg.Done()
+			if _, err := machine.Run(th, "hammer",
+				vm.RefValue(counter), vm.IntValue(iters)); err != nil {
+				t.Error(err)
+			}
+		}(th)
+	}
+	wg.Wait()
+	main, _ := reg.Attach("main")
+	res, err := machine.Run(main, "Counter.get", vm.RefValue(counter))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.I != goroutines*iters {
+		t.Fatalf("counter = %d, want %d", res.I, goroutines*iters)
+	}
+}
+
+func TestComments(t *testing.T) {
+	src := `
+// leading comment
+func main() {
+    var x = 1; // trailing comment
+    // whole-line comment
+    return x + 1;
+}`
+	if got := runThin(t, src); got != 2 {
+		t.Fatalf("got %d, want 2", got)
+	}
+}
+
+func TestImplicitReturnZero(t *testing.T) {
+	if got := runThin(t, "func main() { var x = 5; x = x + 1; }"); got != 0 {
+		t.Fatalf("implicit return = %d, want 0", got)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"undefined variable", "func main() { return y; }", "undefined variable"},
+		{"unknown class", "func main() { var x = new Ghost; return 0; }", "unknown class"},
+		{"unknown method", "class C {} func main() { var c = new C; return c.m(); }", "no method"},
+		{"unknown field", "class C {} func main() { var c = new C; return c.f; }", "no field"},
+		{"unknown function", "func main() { return nope(); }", "unknown function"},
+		{"arity", "func f(a, b) { return a + b; } func main() { return f(1); }", "takes 2 argument"},
+		{"dup class", "class C {} class C {} func main() { return 0; }", "duplicate class"},
+		{"dup method", "class C { method m() { return 0; } method m() { return 0; } } func main() { return 0; }", "duplicate method"},
+		{"dup field", "class C { field f; field f; } func main() { return 0; }", "duplicate field"},
+		{"dup func", "func f() { return 0; } func f() { return 0; } func main() { return 0; }", "duplicate function"},
+		{"dup var", "func main() { var x = 1; var x = 2; return x; }", "duplicate variable"},
+		{"this outside method", "func main() { return this.x; }", "'this' outside"},
+		{"sync on int", "func main() { synchronized (1) { } return 0; }", "needs an object"},
+		{"return object", "class C {} func main() { return new C; }", "return int"},
+		{"assign type mismatch", "class C {} func main() { var x = 1; x = new C; return 0; }", "cannot assign"},
+		{"int condition", "class C {} func main() { if (new C) { } return 0; }", "condition must be int"},
+		{"field of int", "func main() { var x = 1; return x.f; }", "no field"},
+		{"method of int", "func main() { var x = 1; return x.m(); }", "no method"},
+		{"object arith", "class C {} func main() { return 1 + new C; }", "int operands"},
+		{"object argument", "class C {} func f(a) { return a; } func main() { return f(new C); }", "must be int"},
+		{"typed param mismatch", "class C {} class D {} func f(a: C) { return 0; } func main() { return f(new D); }", "must be C"},
+		{"unknown param class", "func f(a: Ghost) { return 0; } func main() { return f(0); }", "unknown class"},
+		{"throw object", "class C {} func main() { throw new C; return 0; }", "int exception code"},
+		{"assign to literal", "func main() { 1 = 2; return 0; }", "assignment"},
+		{"parse: missing semi", "func main() { return 0 }", "expected ';'"},
+		{"parse: missing brace", "func main() { return 0;", "unterminated block"},
+		{"parse: stray token", "klass C {} func main() { return 0; }", "expected"},
+		{"lex: bad char", "func main() { return 0 # 1; }", "unexpected character"},
+		{"lex: bare bang", "func main() { return 1 ! 2; }", "unexpected '!'"},
+		{"lex: huge literal", "func main() { return 99999999999999; }", "too large"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Compile(tc.src)
+			if err == nil {
+				t.Fatalf("compiled successfully, want error containing %q", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestErrorsCarryPositions(t *testing.T) {
+	_, err := Compile("func main() {\n    return y;\n}")
+	if err == nil {
+		t.Fatal("no error")
+	}
+	if !strings.Contains(err.Error(), "2:") {
+		t.Errorf("error lacks line number: %v", err)
+	}
+}
+
+func TestCompiledCodePassesVerifier(t *testing.T) {
+	// vm.New verifies every method; a program with deep nesting of
+	// control flow must still verify.
+	src := `
+func main() {
+    var acc = 0;
+    var i = 0;
+    while (i < 3) {
+        var j = 0;
+        while (j < 3) {
+            if (i == j) { acc = acc + 10; } else {
+                if (i < j) { acc = acc + 1; }
+            }
+            j = j + 1;
+        }
+        i = i + 1;
+    }
+    return acc;
+}`
+	if got := runThin(t, src); got != 33 {
+		t.Fatalf("acc = %d, want 33", got)
+	}
+}

@@ -1,0 +1,500 @@
+package minijava
+
+// parser is a recursive-descent parser over the token stream.
+type parser struct {
+	toks []token
+	pos  int
+}
+
+// Parse turns source text into an AST.
+func Parse(src string) (*Program, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog := &Program{}
+	for p.peek().kind != tokEOF {
+		switch p.peek().kind {
+		case tokClass:
+			c, err := p.classDecl()
+			if err != nil {
+				return nil, err
+			}
+			prog.Classes = append(prog.Classes, c)
+		case tokFunc:
+			f, err := p.funcDecl()
+			if err != nil {
+				return nil, err
+			}
+			prog.Funcs = append(prog.Funcs, f)
+		default:
+			t := p.peek()
+			return nil, errf(t.line, t.col, "expected 'class' or 'func', found %v", t.kind)
+		}
+	}
+	return prog, nil
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) expect(kind tokKind) (token, error) {
+	t := p.peek()
+	if t.kind != kind {
+		return t, errf(t.line, t.col, "expected %v, found %v", kind, t.kind)
+	}
+	return p.next(), nil
+}
+
+func (p *parser) accept(kind tokKind) bool {
+	if p.peek().kind == kind {
+		p.next()
+		return true
+	}
+	return false
+}
+
+// classDecl = "class" ident "{" (fieldDecl | methodDecl)* "}"
+func (p *parser) classDecl() (*ClassDecl, error) {
+	kw, _ := p.expect(tokClass)
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokLBrace); err != nil {
+		return nil, err
+	}
+	c := &ClassDecl{Name: name.text, Line: kw.line, Col: kw.col}
+	for !p.accept(tokRBrace) {
+		switch p.peek().kind {
+		case tokField:
+			p.next()
+			f, err := p.expect(tokIdent)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokSemi); err != nil {
+				return nil, err
+			}
+			c.Fields = append(c.Fields, f.text)
+		case tokSync, tokMethod:
+			m, err := p.methodDecl()
+			if err != nil {
+				return nil, err
+			}
+			c.Methods = append(c.Methods, m)
+		default:
+			t := p.peek()
+			return nil, errf(t.line, t.col, "expected 'field', 'method' or 'sync' in class body, found %v", t.kind)
+		}
+	}
+	return c, nil
+}
+
+// methodDecl = ["sync"] "method" ident "(" params ")" block
+func (p *parser) methodDecl() (*MethodDecl, error) {
+	sync := p.accept(tokSync)
+	kw, err := p.expect(tokMethod)
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	params, err := p.paramList()
+	if err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	return &MethodDecl{
+		Name: name.text, Sync: sync, Params: params, Body: body,
+		Line: kw.line, Col: kw.col,
+	}, nil
+}
+
+// funcDecl = "func" ident "(" params ")" block
+func (p *parser) funcDecl() (*FuncDecl, error) {
+	kw, _ := p.expect(tokFunc)
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	params, err := p.paramList()
+	if err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	return &FuncDecl{Name: name.text, Params: params, Body: body, Line: kw.line, Col: kw.col}, nil
+}
+
+// paramList = "(" (param ("," param)*)? ")"; param = ident (":" ident)?.
+// The optional annotation names the class of an object parameter;
+// unannotated parameters are ints.
+func (p *parser) paramList() ([]Param, error) {
+	if _, err := p.expect(tokLParen); err != nil {
+		return nil, err
+	}
+	var params []Param
+	if p.peek().kind != tokRParen {
+		for {
+			id, err := p.expect(tokIdent)
+			if err != nil {
+				return nil, err
+			}
+			prm := Param{Name: id.text, Line: id.line, Col: id.col}
+			if p.accept(tokColon) {
+				cls, err := p.expect(tokIdent)
+				if err != nil {
+					return nil, err
+				}
+				prm.Class = cls.text
+			}
+			params = append(params, prm)
+			if !p.accept(tokComma) {
+				break
+			}
+		}
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return nil, err
+	}
+	return params, nil
+}
+
+// block = "{" stmt* "}"
+func (p *parser) block() (*Block, error) {
+	if _, err := p.expect(tokLBrace); err != nil {
+		return nil, err
+	}
+	b := &Block{}
+	for !p.accept(tokRBrace) {
+		if p.peek().kind == tokEOF {
+			t := p.peek()
+			return nil, errf(t.line, t.col, "unterminated block")
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	return b, nil
+}
+
+// stmt parses one statement.
+func (p *parser) stmt() (Stmt, error) {
+	switch t := p.peek(); t.kind {
+	case tokVar:
+		p.next()
+		name, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokAssign); err != nil {
+			return nil, err
+		}
+		init, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokSemi); err != nil {
+			return nil, err
+		}
+		return &VarStmt{Name: name.text, Init: init, Line: t.line, Col: t.col}, nil
+
+	case tokIf:
+		p.next()
+		cond, err := p.parenExpr()
+		if err != nil {
+			return nil, err
+		}
+		then, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		var els *Block
+		if p.accept(tokElse) {
+			if els, err = p.block(); err != nil {
+				return nil, err
+			}
+		}
+		return &IfStmt{Cond: cond, Then: then, Else: els}, nil
+
+	case tokWhile:
+		p.next()
+		cond, err := p.parenExpr()
+		if err != nil {
+			return nil, err
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Cond: cond, Body: body}, nil
+
+	case tokReturn:
+		p.next()
+		v, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokSemi); err != nil {
+			return nil, err
+		}
+		return &ReturnStmt{Value: v, Line: t.line, Col: t.col}, nil
+
+	case tokSynchronized:
+		p.next()
+		lock, err := p.parenExpr()
+		if err != nil {
+			return nil, err
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return &SyncStmt{Lock: lock, Body: body, Line: t.line, Col: t.col}, nil
+
+	case tokThrow:
+		p.next()
+		v, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokSemi); err != nil {
+			return nil, err
+		}
+		return &ThrowStmt{Value: v, Line: t.line, Col: t.col}, nil
+
+	case tokTry:
+		p.next()
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokCatch); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokLParen); err != nil {
+			return nil, err
+		}
+		name, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		catch, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return &TryStmt{Body: body, Name: name.text, Catch: catch, Line: t.line, Col: t.col}, nil
+
+	case tokLBrace:
+		return p.block()
+
+	default:
+		// assignment or expression statement
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if p.peek().kind == tokAssign {
+			eq := p.next()
+			switch x.(type) {
+			case *IdentExpr, *FieldExpr:
+			default:
+				return nil, errf(eq.line, eq.col, "left side of assignment must be a variable or field")
+			}
+			v, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokSemi); err != nil {
+				return nil, err
+			}
+			return &AssignStmt{Target: x, Value: v, Line: eq.line, Col: eq.col}, nil
+		}
+		if _, err := p.expect(tokSemi); err != nil {
+			return nil, err
+		}
+		return &ExprStmt{X: x}, nil
+	}
+}
+
+func (p *parser) parenExpr() (Expr, error) {
+	if _, err := p.expect(tokLParen); err != nil {
+		return nil, err
+	}
+	x, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return nil, err
+	}
+	return x, nil
+}
+
+// expr = addExpr (relop addExpr)?
+func (p *parser) expr() (Expr, error) {
+	l, err := p.addExpr()
+	if err != nil {
+		return nil, err
+	}
+	switch t := p.peek(); t.kind {
+	case tokLT, tokLE, tokGT, tokGE, tokEQ, tokNE:
+		p.next()
+		r, err := p.addExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &BinExpr{Op: t.kind, L: l, R: r, Line: t.line, Col: t.col}, nil
+	}
+	return l, nil
+}
+
+// addExpr = mulExpr (("+"|"-") mulExpr)*
+func (p *parser) addExpr() (Expr, error) {
+	l, err := p.mulExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind != tokPlus && t.kind != tokMinus {
+			return l, nil
+		}
+		p.next()
+		r, err := p.mulExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Op: t.kind, L: l, R: r, Line: t.line, Col: t.col}
+	}
+}
+
+// mulExpr = postfix ("*" postfix)*
+func (p *parser) mulExpr() (Expr, error) {
+	l, err := p.postfix()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tokStar {
+		t := p.next()
+		r, err := p.postfix()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Op: tokStar, L: l, R: r, Line: t.line, Col: t.col}
+	}
+	return l, nil
+}
+
+// postfix = primary ("." ident ( "(" args ")" )? )*
+func (p *parser) postfix() (Expr, error) {
+	x, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tokDot {
+		dot := p.next()
+		name, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		if p.peek().kind == tokLParen {
+			args, err := p.argList()
+			if err != nil {
+				return nil, err
+			}
+			x = &CallExpr{Obj: x, Method: name.text, Args: args, Line: dot.line, Col: dot.col}
+		} else {
+			x = &FieldExpr{Obj: x, Field: name.text, Line: dot.line, Col: dot.col}
+		}
+	}
+	return x, nil
+}
+
+func (p *parser) argList() ([]Expr, error) {
+	if _, err := p.expect(tokLParen); err != nil {
+		return nil, err
+	}
+	var args []Expr
+	if p.peek().kind != tokRParen {
+		for {
+			a, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, a)
+			if !p.accept(tokComma) {
+				break
+			}
+		}
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return nil, err
+	}
+	return args, nil
+}
+
+// primary = number | ident | ident "(" args ")" | "this" | "new" ident |
+// "-" primary | "(" expr ")"
+func (p *parser) primary() (Expr, error) {
+	switch t := p.peek(); t.kind {
+	case tokNumber:
+		p.next()
+		return &NumExpr{Value: t.num, Line: t.line, Col: t.col}, nil
+	case tokIdent:
+		p.next()
+		if p.peek().kind == tokLParen {
+			args, err := p.argList()
+			if err != nil {
+				return nil, err
+			}
+			return &CallExpr{Method: t.text, Args: args, Line: t.line, Col: t.col}, nil
+		}
+		return &IdentExpr{Name: t.text, Line: t.line, Col: t.col}, nil
+	case tokThis:
+		p.next()
+		return &ThisExpr{Line: t.line, Col: t.col}, nil
+	case tokNew:
+		p.next()
+		name, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		return &NewExpr{Class: name.text, Line: t.line, Col: t.col}, nil
+	case tokMinus:
+		p.next()
+		x, err := p.primary()
+		if err != nil {
+			return nil, err
+		}
+		return &BinExpr{Op: tokMinus,
+			L:    &NumExpr{Value: 0, Line: t.line, Col: t.col},
+			R:    x,
+			Line: t.line, Col: t.col}, nil
+	case tokLParen:
+		return p.parenExpr()
+	default:
+		return nil, errf(t.line, t.col, "expected expression, found %v", t.kind)
+	}
+}

@@ -1,0 +1,214 @@
+package minijava
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Format renders an AST back to canonical source text. The printer and
+// parser form a fixpoint: Parse(Format(p)) yields an AST that formats to
+// the same text, which the round-trip tests (and fuzzing) verify.
+func Format(p *Program) string {
+	var pr printer
+	for i, c := range p.Classes {
+		if i > 0 {
+			pr.nl()
+		}
+		pr.classDecl(c)
+	}
+	for i, f := range p.Funcs {
+		if i > 0 || len(p.Classes) > 0 {
+			pr.nl()
+		}
+		pr.funcDecl(f)
+	}
+	return pr.b.String()
+}
+
+type printer struct {
+	b      strings.Builder
+	indent int
+}
+
+func (pr *printer) line(format string, args ...any) {
+	pr.b.WriteString(strings.Repeat("    ", pr.indent))
+	fmt.Fprintf(&pr.b, format, args...)
+	pr.b.WriteByte('\n')
+}
+
+func (pr *printer) nl() { pr.b.WriteByte('\n') }
+
+func (pr *printer) classDecl(c *ClassDecl) {
+	pr.line("class %s {", c.Name)
+	pr.indent++
+	for _, f := range c.Fields {
+		pr.line("field %s;", f)
+	}
+	for _, m := range c.Methods {
+		mod := "method"
+		if m.Sync {
+			mod = "sync method"
+		}
+		pr.line("%s %s(%s) {", mod, m.Name, formatParams(m.Params))
+		pr.indent++
+		pr.blockBody(m.Body)
+		pr.indent--
+		pr.line("}")
+	}
+	pr.indent--
+	pr.line("}")
+}
+
+func (pr *printer) funcDecl(f *FuncDecl) {
+	pr.line("func %s(%s) {", f.Name, formatParams(f.Params))
+	pr.indent++
+	pr.blockBody(f.Body)
+	pr.indent--
+	pr.line("}")
+}
+
+func formatParams(params []Param) string {
+	parts := make([]string, len(params))
+	for i, p := range params {
+		if p.Class != "" {
+			parts[i] = p.Name + ": " + p.Class
+		} else {
+			parts[i] = p.Name
+		}
+	}
+	return strings.Join(parts, ", ")
+}
+
+func (pr *printer) blockBody(b *Block) {
+	for _, s := range b.Stmts {
+		pr.stmt(s)
+	}
+}
+
+func (pr *printer) stmt(s Stmt) {
+	switch s := s.(type) {
+	case *Block:
+		pr.line("{")
+		pr.indent++
+		pr.blockBody(s)
+		pr.indent--
+		pr.line("}")
+	case *VarStmt:
+		pr.line("var %s = %s;", s.Name, formatExpr(s.Init))
+	case *AssignStmt:
+		pr.line("%s = %s;", formatExpr(s.Target), formatExpr(s.Value))
+	case *IfStmt:
+		pr.line("if (%s) {", formatExpr(s.Cond))
+		pr.indent++
+		pr.blockBody(s.Then)
+		pr.indent--
+		if s.Else != nil {
+			pr.line("} else {")
+			pr.indent++
+			pr.blockBody(s.Else)
+			pr.indent--
+		}
+		pr.line("}")
+	case *WhileStmt:
+		pr.line("while (%s) {", formatExpr(s.Cond))
+		pr.indent++
+		pr.blockBody(s.Body)
+		pr.indent--
+		pr.line("}")
+	case *ReturnStmt:
+		pr.line("return %s;", formatExpr(s.Value))
+	case *ExprStmt:
+		pr.line("%s;", formatExpr(s.X))
+	case *SyncStmt:
+		pr.line("synchronized (%s) {", formatExpr(s.Lock))
+		pr.indent++
+		pr.blockBody(s.Body)
+		pr.indent--
+		pr.line("}")
+	case *ThrowStmt:
+		pr.line("throw %s;", formatExpr(s.Value))
+	case *TryStmt:
+		pr.line("try {")
+		pr.indent++
+		pr.blockBody(s.Body)
+		pr.indent--
+		pr.line("} catch (%s) {", s.Name)
+		pr.indent++
+		pr.blockBody(s.Catch)
+		pr.indent--
+		pr.line("}")
+	}
+}
+
+// opText maps binary-operator token kinds to source text.
+var opText = map[tokKind]string{
+	tokPlus: "+", tokMinus: "-", tokStar: "*",
+	tokLT: "<", tokLE: "<=", tokGT: ">", tokGE: ">=",
+	tokEQ: "==", tokNE: "!=",
+}
+
+// precedence levels for minimal parenthesization, mirroring the parser:
+// comparisons (1) < additive (2) < multiplicative (3) < postfix/primary (4).
+func precedence(e Expr) int {
+	b, ok := e.(*BinExpr)
+	if !ok {
+		return 4
+	}
+	switch b.Op {
+	case tokStar:
+		return 3
+	case tokPlus, tokMinus:
+		return 2
+	default:
+		return 1
+	}
+}
+
+// formatExpr renders an expression with minimal parentheses.
+func formatExpr(e Expr) string {
+	switch e := e.(type) {
+	case *NumExpr:
+		return fmt.Sprintf("%d", e.Value)
+	case *IdentExpr:
+		return e.Name
+	case *ThisExpr:
+		return "this"
+	case *NewExpr:
+		return "new " + e.Class
+	case *FieldExpr:
+		return formatOperand(e.Obj, 4) + "." + e.Field
+	case *CallExpr:
+		args := make([]string, len(e.Args))
+		for i, a := range e.Args {
+			args[i] = formatExpr(a)
+		}
+		call := e.Method + "(" + strings.Join(args, ", ") + ")"
+		if e.Obj != nil {
+			return formatOperand(e.Obj, 4) + "." + call
+		}
+		return call
+	case *BinExpr:
+		p := precedence(e)
+		// The grammar is left-associative for +,-,* (right operand needs
+		// parens at equal precedence, left only below it) and
+		// non-associative for comparisons (both operands need parens at
+		// comparison precedence).
+		lmin := p
+		if p == 1 {
+			lmin = p + 1
+		}
+		l := formatOperand(e.L, lmin)
+		r := formatOperand(e.R, p+1)
+		return l + " " + opText[e.Op] + " " + r
+	default:
+		return "?"
+	}
+}
+
+// formatOperand parenthesizes e when its precedence is below min.
+func formatOperand(e Expr, min int) string {
+	if precedence(e) < min {
+		return "(" + formatExpr(e) + ")"
+	}
+	return formatExpr(e)
+}

@@ -1,0 +1,120 @@
+package minijava
+
+import (
+	"strings"
+	"testing"
+)
+
+// roundTrip parses src, formats it, and checks the fixpoint property:
+// formatting the reparse of the formatted text reproduces it exactly.
+func roundTrip(t *testing.T, src string) string {
+	t.Helper()
+	ast, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	once := Format(ast)
+	ast2, err := Parse(once)
+	if err != nil {
+		t.Fatalf("reparse of formatted output failed: %v\n%s", err, once)
+	}
+	twice := Format(ast2)
+	if once != twice {
+		t.Fatalf("printer not a fixpoint:\n--- once ---\n%s\n--- twice ---\n%s", once, twice)
+	}
+	return once
+}
+
+func TestFormatFixpointOnRepresentativePrograms(t *testing.T) {
+	programs := []string{
+		`func main() { return 0; }`,
+		`func main() { return 1 + 2 * 3 - (4 + 5) * 6; }`,
+		`func main() { return (1 + 2) * 3; }`,
+		`func f(a, b: Box, c) { return a + c; }
+		 class Box { field v; }
+		 func main() { return f(1, new Box, 2); }`,
+		`class Counter {
+		    field value;
+		    sync method add(n) { this.value = this.value + n; return this.value; }
+		    method get() { return this.value; }
+		 }
+		 func main() {
+		    var c = new Counter;
+		    var i = 0;
+		    while (i < 10) {
+		        if (i == 5) { c.add(100); } else { c.add(1); }
+		        i = i + 1;
+		    }
+		    synchronized (c) { c.add(0); }
+		    try { throw c.get(); } catch (e) { return e; }
+		    return -1;
+		 }`,
+		`func main() { var x = 1 - 2 - 3; return x - (4 - 5); }`,
+		`func main() { { var inner = 1; } return 0; }`,
+	}
+	for _, src := range programs {
+		roundTrip(t, src)
+	}
+}
+
+func TestFormatPreservesSemantics(t *testing.T) {
+	src := `
+class Acc {
+    field total;
+    sync method bump(n) { this.total = this.total + n; return this.total; }
+}
+func main() {
+    var a = new Acc;
+    var i = 0;
+    while (i < 20) {
+        synchronized (a) { a.bump(i * 2 - 1); }
+        i = i + 1;
+    }
+    try { throw a.bump(0); } catch (e) { return e + (1 + 2) * 3; }
+    return 0;
+}`
+	original := runThin(t, src)
+	ast, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reprinted := runThin(t, Format(ast))
+	if original != reprinted {
+		t.Fatalf("formatted program computes %d, original %d", reprinted, original)
+	}
+}
+
+func TestFormatParenthesization(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string // the expression as printed inside "return ...;"
+	}{
+		{"func main() { return (1 + 2) * 3; }", "(1 + 2) * 3"},
+		{"func main() { return 1 + 2 * 3; }", "1 + 2 * 3"},
+		{"func main() { return 1 - (2 - 3); }", "1 - (2 - 3)"},
+		{"func main() { return 1 - 2 - 3; }", "1 - 2 - 3"},
+		{"func main() { return (1 < 2) == (3 < 4); }", "(1 < 2) == (3 < 4)"},
+		{"func main() { return -5 + 1; }", "0 - 5 + 1"}, // unary minus desugars
+	}
+	for _, tc := range cases {
+		ast, err := Parse(tc.src)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.src, err)
+		}
+		out := Format(ast)
+		if !strings.Contains(out, "return "+tc.want+";") {
+			t.Errorf("formatting %q produced:\n%s\nwant expression %q", tc.src, out, tc.want)
+		}
+		roundTrip(t, tc.src)
+	}
+}
+
+func TestFormatSemanticsUnderParenChanges(t *testing.T) {
+	// The minimal-parens printer must not change evaluation.
+	src := "func main() { return 100 - (10 - (3 - 1)) * (2 + 1); }"
+	original := runThin(t, src)
+	out := roundTrip(t, src)
+	if got := runThin(t, out); got != original {
+		t.Fatalf("reprinted = %d, original = %d\n%s", got, original, out)
+	}
+}

@@ -1,0 +1,133 @@
+// Package minijava compiles a small Java-like language to the bytecode
+// of the internal VM. It exists for two reasons. First, the paper's
+// macro suite is language-processing tools, and a working compiler is the
+// most honest synthetic member of that family. Second, its output runs
+// *on* the VM: synchronized methods and synchronized blocks in source
+// become FlagSync methods and monitorenter/monitorexit bytecodes, so a
+// compiled program exercises any lock implementation end to end.
+//
+// The language: integer expressions, var/if/while/return statements,
+// classes with integer fields and (optionally synchronized) methods,
+// object creation with `new`, method calls, and `synchronized (expr)
+// stmt` blocks. Types are int and class references, inferred from
+// initializers.
+//
+//	class Counter {
+//	    field value;
+//	    sync method add(n) { this.value = this.value + n; return this.value; }
+//	}
+//	func main() {
+//	    var c = new Counter;
+//	    var i = 0;
+//	    while (i < 10) { c.add(2); i = i + 1; }
+//	    return c.add(0);
+//	}
+package minijava
+
+import "fmt"
+
+// tokKind enumerates token kinds.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokClass
+	tokField
+	tokMethod
+	tokSync
+	tokFunc
+	tokVar
+	tokIf
+	tokElse
+	tokWhile
+	tokReturn
+	tokNew
+	tokThis
+	tokSynchronized
+	tokThrow
+	tokTry
+	tokCatch
+	tokLBrace // {
+	tokRBrace // }
+	tokLParen // (
+	tokRParen // )
+	tokSemi   // ;
+	tokColon  // :
+	tokComma  // ,
+	tokDot    // .
+	tokAssign // =
+	tokPlus   // +
+	tokMinus  // -
+	tokStar   // *
+	tokLT     // <
+	tokLE     // <=
+	tokGT     // >
+	tokGE     // >=
+	tokEQ     // ==
+	tokNE     // !=
+)
+
+var keywords = map[string]tokKind{
+	"class":        tokClass,
+	"field":        tokField,
+	"method":       tokMethod,
+	"sync":         tokSync,
+	"func":         tokFunc,
+	"var":          tokVar,
+	"if":           tokIf,
+	"else":         tokElse,
+	"while":        tokWhile,
+	"return":       tokReturn,
+	"new":          tokNew,
+	"this":         tokThis,
+	"synchronized": tokSynchronized,
+	"throw":        tokThrow,
+	"try":          tokTry,
+	"catch":        tokCatch,
+}
+
+var kindNames = map[tokKind]string{
+	tokEOF: "end of input", tokIdent: "identifier", tokNumber: "number",
+	tokClass: "'class'", tokField: "'field'", tokMethod: "'method'",
+	tokSync: "'sync'", tokFunc: "'func'", tokVar: "'var'", tokIf: "'if'",
+	tokElse: "'else'", tokWhile: "'while'", tokReturn: "'return'",
+	tokNew: "'new'", tokThis: "'this'", tokSynchronized: "'synchronized'",
+	tokThrow: "'throw'", tokTry: "'try'", tokCatch: "'catch'",
+	tokLBrace: "'{'", tokRBrace: "'}'", tokLParen: "'('", tokRParen: "')'",
+	tokSemi: "';'", tokColon: "':'", tokComma: "','", tokDot: "'.'", tokAssign: "'='",
+	tokPlus: "'+'", tokMinus: "'-'", tokStar: "'*'", tokLT: "'<'",
+	tokLE: "'<='", tokGT: "'>'", tokGE: "'>='", tokEQ: "'=='", tokNE: "'!='",
+}
+
+func (k tokKind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("token(%d)", int(k))
+}
+
+// token is one lexeme with its source position.
+type token struct {
+	kind tokKind
+	text string
+	num  int64
+	line int
+	col  int
+}
+
+// Error is a compile error with a source position.
+type Error struct {
+	Line, Col int
+	Msg       string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	return fmt.Sprintf("minijava: %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+func errf(line, col int, format string, args ...any) *Error {
+	return &Error{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,88 @@
+package monitor
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// IndexBits is the width of a monitor index in an inflated lock word: the
+// 24-bit lock field minus the monitor shape bit.
+const IndexBits = 23
+
+// MaxMonitors is the size of the monitor index space.
+const MaxMonitors = 1 << IndexBits
+
+// chunkBits sizes the table's fixed chunks. Lookups are lock-free; only
+// growth takes the table mutex.
+const chunkBits = 10
+
+const chunkSize = 1 << chunkBits
+
+// Table maps monitor indices to monitors, mirroring "the table which maps
+// inflated monitor indices to fat locks" (§2.3). Get is wait-free (an
+// atomic load plus two indexing operations — the paper's "shifting the
+// monitor index to the right and indexing into the vector"), because it
+// sits on the locking fast path for every inflated object.
+type Table struct {
+	mu     sync.Mutex
+	chunks atomic.Pointer[[]*[chunkSize]*Monitor]
+	next   uint32 // next index to hand out; index 0 is a valid monitor
+}
+
+// NewTable returns an empty monitor table.
+func NewTable() *Table {
+	t := &Table{}
+	empty := make([]*[chunkSize]*Monitor, 0)
+	t.chunks.Store(&empty)
+	return t
+}
+
+// Allocate creates a new monitor, assigns it the next index, and returns
+// it. It panics if the 23-bit index space is exhausted, which corresponds
+// to a VM that has inflated eight million locks.
+func (tb *Table) Allocate() *Monitor {
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	idx := tb.next
+	if idx >= MaxMonitors {
+		panic("monitor: 23-bit monitor index space exhausted")
+	}
+	tb.next++
+
+	chunks := *tb.chunks.Load()
+	ci := int(idx >> chunkBits)
+	if ci >= len(chunks) {
+		grown := make([]*[chunkSize]*Monitor, ci+1)
+		copy(grown, chunks)
+		grown[ci] = new([chunkSize]*Monitor)
+		tb.chunks.Store(&grown)
+		chunks = grown
+	}
+	m := &Monitor{index: idx}
+	chunks[ci][idx&(chunkSize-1)] = m
+	return m
+}
+
+// Get returns the monitor with the given index. It panics on an index
+// that was never allocated: encountering one means an object header held
+// a corrupt inflated lock word.
+func (tb *Table) Get(idx uint32) *Monitor {
+	chunks := *tb.chunks.Load()
+	ci := int(idx >> chunkBits)
+	if ci >= len(chunks) {
+		panic(fmt.Sprintf("monitor: index %d beyond table", idx))
+	}
+	m := chunks[ci][idx&(chunkSize-1)]
+	if m == nil {
+		panic(fmt.Sprintf("monitor: index %d unallocated", idx))
+	}
+	return m
+}
+
+// Len reports how many monitors have been allocated.
+func (tb *Table) Len() int {
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	return int(tb.next)
+}

@@ -1,0 +1,94 @@
+package monitor
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestTableAllocateAssignsSequentialIndices(t *testing.T) {
+	tb := NewTable()
+	for i := 0; i < 3000; i++ { // crosses a chunk boundary
+		m := tb.Allocate()
+		if m.Index() != uint32(i) {
+			t.Fatalf("index = %d, want %d", m.Index(), i)
+		}
+	}
+	if tb.Len() != 3000 {
+		t.Errorf("Len = %d, want 3000", tb.Len())
+	}
+}
+
+func TestTableGetReturnsSameMonitor(t *testing.T) {
+	tb := NewTable()
+	ms := make([]*Monitor, 2500)
+	for i := range ms {
+		ms[i] = tb.Allocate()
+	}
+	for i, want := range ms {
+		if got := tb.Get(uint32(i)); got != want {
+			t.Fatalf("Get(%d) returned a different monitor", i)
+		}
+	}
+}
+
+func TestTableGetPanicsOnBadIndex(t *testing.T) {
+	tb := NewTable()
+	tb.Allocate()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Get of unallocated index did not panic")
+		}
+	}()
+	tb.Get(99999)
+}
+
+func TestTableConcurrentAllocateAndGet(t *testing.T) {
+	tb := NewTable()
+	const goroutines, perG = 8, 400
+	indices := make([][]uint32, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				m := tb.Allocate()
+				indices[g] = append(indices[g], m.Index())
+				if tb.Get(m.Index()) != m {
+					t.Errorf("Get(%d) mismatch", m.Index())
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	seen := make(map[uint32]bool)
+	for _, batch := range indices {
+		for _, idx := range batch {
+			if seen[idx] {
+				t.Fatalf("duplicate monitor index %d", idx)
+			}
+			seen[idx] = true
+		}
+	}
+	if tb.Len() != goroutines*perG {
+		t.Errorf("Len = %d, want %d", tb.Len(), goroutines*perG)
+	}
+}
+
+func TestNewMonitorHasIndexZero(t *testing.T) {
+	if New().Index() != 0 {
+		t.Error("table-less monitor should report index 0")
+	}
+}
+
+func BenchmarkTableGet(b *testing.B) {
+	tb := NewTable()
+	for i := 0; i < 1024; i++ {
+		tb.Allocate()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = tb.Get(uint32(i & 1023))
+	}
+}

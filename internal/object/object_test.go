@@ -1,0 +1,222 @@
+package object
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroValueIsUnlocked(t *testing.T) {
+	var o Object
+	if o.Header() != 0 {
+		t.Errorf("zero Object header = %#x, want 0", o.Header())
+	}
+	if o.Misc() != 0 {
+		t.Errorf("zero Object misc = %#x, want 0", o.Misc())
+	}
+}
+
+func TestHeapNewSeedsMiscBits(t *testing.T) {
+	h := NewHeap()
+	sawDistinct := false
+	var prev uint32
+	for i := 0; i < 50; i++ {
+		o := h.New("X")
+		m := o.Misc()
+		if m == 0 {
+			t.Fatalf("object %d has zero misc bits", i)
+		}
+		if m > MiscMask {
+			t.Fatalf("misc %#x exceeds 8 bits", m)
+		}
+		// The lock field (high 24 bits) must start clear: unlocked.
+		if o.Header()&^MiscMask != 0 {
+			t.Fatalf("fresh object lock field = %#x, want 0", o.Header()&^MiscMask)
+		}
+		if i > 0 && m != prev {
+			sawDistinct = true
+		}
+		prev = m
+	}
+	if !sawDistinct {
+		t.Error("all 50 objects share identical misc bits; want variety")
+	}
+}
+
+func TestHeapIDsUniqueAndCounted(t *testing.T) {
+	h := NewHeap()
+	seen := make(map[uint64]bool)
+	for i := 0; i < 100; i++ {
+		o := h.New("X")
+		if seen[o.ID()] {
+			t.Fatalf("duplicate id %d", o.ID())
+		}
+		seen[o.ID()] = true
+	}
+	if h.Allocated() != 100 {
+		t.Errorf("Allocated() = %d, want 100", h.Allocated())
+	}
+}
+
+func TestHeapConcurrentAllocation(t *testing.T) {
+	h := NewHeap()
+	const goroutines, perG = 8, 500
+	ids := make([][]uint64, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				ids[g] = append(ids[g], h.New("X").ID())
+			}
+		}(g)
+	}
+	wg.Wait()
+	seen := make(map[uint64]bool)
+	for _, batch := range ids {
+		for _, id := range batch {
+			if seen[id] {
+				t.Fatalf("duplicate id %d across goroutines", id)
+			}
+			seen[id] = true
+		}
+	}
+	if h.Allocated() != goroutines*perG {
+		t.Errorf("Allocated() = %d, want %d", h.Allocated(), goroutines*perG)
+	}
+}
+
+func TestCASHeader(t *testing.T) {
+	h := NewHeap()
+	o := h.New("X")
+	misc := o.Misc()
+	if !o.CASHeader(misc, misc|0x10000) {
+		t.Fatal("CAS from current header failed")
+	}
+	if o.Header() != misc|0x10000 {
+		t.Fatalf("header = %#x after CAS", o.Header())
+	}
+	if o.CASHeader(misc, misc|0x20000) {
+		t.Fatal("CAS from stale header succeeded")
+	}
+}
+
+func TestSetHeaderPreservesNothing(t *testing.T) {
+	var o Object
+	o.SetHeader(0xDEADBEEF)
+	if o.Header() != 0xDEADBEEF {
+		t.Fatalf("header = %#x, want 0xDEADBEEF", o.Header())
+	}
+}
+
+func TestString(t *testing.T) {
+	h := NewHeap()
+	o := h.New("Vector")
+	if got, want := o.String(), "Vector#1"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	var z Object
+	if got, want := z.String(), "object#0"; got != want {
+		t.Errorf("zero String() = %q, want %q", got, want)
+	}
+}
+
+// Property: misc bits survive any sequence of lock-field writes that
+// respect the split (as all lock implementations must).
+func TestMiscBitsStableUnderLockFieldWrites(t *testing.T) {
+	prop := func(writes []uint32) bool {
+		h := NewHeap()
+		o := h.New("X")
+		misc := o.Misc()
+		for _, w := range writes {
+			o.SetHeader((w &^ MiscMask) | misc)
+			if o.Misc() != misc {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClassAndHeaderAddr(t *testing.T) {
+	h := NewHeap()
+	o := h.New("Vector")
+	if o.Class() != "Vector" {
+		t.Errorf("Class = %q", o.Class())
+	}
+	if o.HeaderAddr() == nil {
+		t.Fatal("HeaderAddr nil")
+	}
+	*o.HeaderAddr() = 0x12345678 // direct access is how arch.CAS reaches it
+	if o.Header() != 0x12345678 {
+		t.Errorf("header via addr = %#x", o.Header())
+	}
+}
+
+func TestFlagBits(t *testing.T) {
+	h := NewHeap()
+	o := h.New("X")
+	if o.Flags() != 0 {
+		t.Fatalf("fresh flags = %#x", o.Flags())
+	}
+	o.SetFlagBits(0b101)
+	if o.Flags() != 0b101 {
+		t.Fatalf("flags = %#x after set", o.Flags())
+	}
+	o.SetFlagBits(0b101) // idempotent fast path
+	if o.Flags() != 0b101 {
+		t.Fatalf("flags = %#x after redundant set", o.Flags())
+	}
+	o.ClearFlagBits(0b001)
+	if o.Flags() != 0b100 {
+		t.Fatalf("flags = %#x after clear", o.Flags())
+	}
+	o.ClearFlagBits(0b001) // idempotent fast path
+	if o.Flags() != 0b100 {
+		t.Fatalf("flags = %#x after redundant clear", o.Flags())
+	}
+}
+
+func TestFlagBitsConcurrent(t *testing.T) {
+	// Concurrent set/clear of disjoint bits must not lose updates.
+	h := NewHeap()
+	o := h.New("X")
+	var wg sync.WaitGroup
+	for bit := uint32(0); bit < 8; bit++ {
+		bit := bit
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				o.SetFlagBits(1 << bit)
+				o.ClearFlagBits(1 << bit)
+			}
+			o.SetFlagBits(1 << bit)
+		}()
+	}
+	wg.Wait()
+	if o.Flags() != 0xFF {
+		t.Fatalf("flags = %#x, want 0xFF (lost updates)", o.Flags())
+	}
+}
+
+func BenchmarkHeapNew(b *testing.B) {
+	h := NewHeap()
+	for i := 0; i < b.N; i++ {
+		_ = h.New("X")
+	}
+}
+
+func BenchmarkHeaderLoad(b *testing.B) {
+	h := NewHeap()
+	o := h.New("X")
+	var sink uint32
+	for i := 0; i < b.N; i++ {
+		sink += o.Header()
+	}
+	_ = sink
+}

@@ -1,0 +1,230 @@
+package vm
+
+import "fmt"
+
+// Asm builds instruction sequences with symbolic labels, so benchmark
+// kernels and tests read like assembly listings instead of raw index
+// arithmetic.
+//
+//	code, err := vm.NewAsm().
+//		Iconst(0).Istore(1).
+//		Label("loop").
+//		Iload(1).Iload(0).IfICmpGE("done").
+//		Iinc(1, 1).
+//		Goto("loop").
+//		Label("done").
+//		Return().
+//		Build()
+type Asm struct {
+	instrs   []Instr
+	labels   map[string]int
+	fixups   []fixup
+	handlers []handlerFixup
+	errs     []error
+}
+
+type fixup struct {
+	instr int
+	label string
+}
+
+type handlerFixup struct {
+	start, end, target string
+}
+
+// NewAsm returns an empty assembler.
+func NewAsm() *Asm {
+	return &Asm{labels: make(map[string]int)}
+}
+
+// Label binds name to the next instruction's index.
+func (a *Asm) Label(name string) *Asm {
+	if _, dup := a.labels[name]; dup {
+		a.errs = append(a.errs, fmt.Errorf("duplicate label %q", name))
+	}
+	a.labels[name] = len(a.instrs)
+	return a
+}
+
+func (a *Asm) emit(in Instr) *Asm {
+	a.instrs = append(a.instrs, in)
+	return a
+}
+
+func (a *Asm) emitJump(op Op, label string) *Asm {
+	a.fixups = append(a.fixups, fixup{len(a.instrs), label})
+	return a.emit(Instr{Op: op})
+}
+
+// Nop emits nop.
+func (a *Asm) Nop() *Asm { return a.emit(Instr{Op: OpNop}) }
+
+// Iconst pushes v.
+func (a *Asm) Iconst(v int32) *Asm { return a.emit(Instr{Op: OpIconst, A: v}) }
+
+// Iload pushes local n.
+func (a *Asm) Iload(n int32) *Asm { return a.emit(Instr{Op: OpIload, A: n}) }
+
+// Istore pops into local n.
+func (a *Asm) Istore(n int32) *Asm { return a.emit(Instr{Op: OpIstore, A: n}) }
+
+// Iinc adds delta to local n.
+func (a *Asm) Iinc(n, delta int32) *Asm { return a.emit(Instr{Op: OpIinc, A: n, B: delta}) }
+
+// Iadd emits iadd.
+func (a *Asm) Iadd() *Asm { return a.emit(Instr{Op: OpIadd}) }
+
+// Isub emits isub.
+func (a *Asm) Isub() *Asm { return a.emit(Instr{Op: OpIsub}) }
+
+// Imul emits imul.
+func (a *Asm) Imul() *Asm { return a.emit(Instr{Op: OpImul}) }
+
+// Dup emits dup.
+func (a *Asm) Dup() *Asm { return a.emit(Instr{Op: OpDup}) }
+
+// Pop emits pop.
+func (a *Asm) Pop() *Asm { return a.emit(Instr{Op: OpPop}) }
+
+// Goto jumps to label.
+func (a *Asm) Goto(label string) *Asm { return a.emitJump(OpGoto, label) }
+
+// IfICmpLT jumps to label when (second-from-top < top).
+func (a *Asm) IfICmpLT(label string) *Asm { return a.emitJump(OpIfICmpLT, label) }
+
+// IfICmpGE jumps to label when (second-from-top >= top).
+func (a *Asm) IfICmpGE(label string) *Asm { return a.emitJump(OpIfICmpGE, label) }
+
+// IfEQ jumps to label when top == 0.
+func (a *Asm) IfEQ(label string) *Asm { return a.emitJump(OpIfEQ, label) }
+
+// IfNE jumps to label when top != 0.
+func (a *Asm) IfNE(label string) *Asm { return a.emitJump(OpIfNE, label) }
+
+// Aload pushes reference local n.
+func (a *Asm) Aload(n int32) *Asm { return a.emit(Instr{Op: OpAload, A: n}) }
+
+// Astore pops a reference into local n.
+func (a *Asm) Astore(n int32) *Asm { return a.emit(Instr{Op: OpAstore, A: n}) }
+
+// New instantiates class index c.
+func (a *Asm) New(c int32) *Asm { return a.emit(Instr{Op: OpNew, A: c}) }
+
+// NewArray pushes a reference array of length n.
+func (a *Asm) NewArray(n int32) *Asm { return a.emit(Instr{Op: OpNewArray, A: n}) }
+
+// ALoadIdx emits aaload.
+func (a *Asm) ALoadIdx() *Asm { return a.emit(Instr{Op: OpALoadIdx}) }
+
+// AStoreIdx emits aastore.
+func (a *Asm) AStoreIdx() *Asm { return a.emit(Instr{Op: OpAStoreIdx}) }
+
+// GetField pushes field f of the popped reference.
+func (a *Asm) GetField(f int32) *Asm { return a.emit(Instr{Op: OpGetField, A: f}) }
+
+// PutField stores into field f.
+func (a *Asm) PutField(f int32) *Asm { return a.emit(Instr{Op: OpPutField, A: f}) }
+
+// MonitorEnter locks the popped reference.
+func (a *Asm) MonitorEnter() *Asm { return a.emit(Instr{Op: OpMonitorEnter}) }
+
+// MonitorExit unlocks the popped reference.
+func (a *Asm) MonitorExit() *Asm { return a.emit(Instr{Op: OpMonitorExit}) }
+
+// Invoke calls method index m.
+func (a *Asm) Invoke(m int32) *Asm { return a.emit(Instr{Op: OpInvoke, A: m}) }
+
+// Throw emits athrow.
+func (a *Asm) Throw() *Asm { return a.emit(Instr{Op: OpThrow}) }
+
+// Pos reports the index the next emitted instruction will occupy; code
+// generators use it to detect empty regions.
+func (a *Asm) Pos() int { return len(a.instrs) }
+
+// Protect registers an exception handler: anything thrown between the
+// start label (inclusive) and the end label (exclusive) transfers to the
+// handler label with the thrown value as the only stack entry.
+func (a *Asm) Protect(start, end, handler string) *Asm {
+	a.handlers = append(a.handlers, handlerFixup{start, end, handler})
+	return a
+}
+
+// Return emits return.
+func (a *Asm) Return() *Asm { return a.emit(Instr{Op: OpReturn}) }
+
+// IReturn emits ireturn.
+func (a *Asm) IReturn() *Asm { return a.emit(Instr{Op: OpIReturn}) }
+
+// AReturn emits areturn.
+func (a *Asm) AReturn() *Asm { return a.emit(Instr{Op: OpAReturn}) }
+
+// Build resolves labels and returns the instruction sequence. Listings
+// with Protect entries must use BuildWithHandlers instead.
+func (a *Asm) Build() ([]Instr, error) {
+	code, handlers, err := a.BuildWithHandlers()
+	if err != nil {
+		return nil, err
+	}
+	if len(handlers) > 0 {
+		return nil, fmt.Errorf("listing declares handlers; use BuildWithHandlers")
+	}
+	return code, nil
+}
+
+// BuildWithHandlers resolves labels and returns the instruction sequence
+// plus the exception table.
+func (a *Asm) BuildWithHandlers() ([]Instr, []Handler, error) {
+	if len(a.errs) > 0 {
+		return nil, nil, a.errs[0]
+	}
+	resolve := func(label string) (int, error) {
+		target, ok := a.labels[label]
+		if !ok {
+			return 0, fmt.Errorf("undefined label %q", label)
+		}
+		return target, nil
+	}
+	for _, f := range a.fixups {
+		target, err := resolve(f.label)
+		if err != nil {
+			return nil, nil, err
+		}
+		a.instrs[f.instr].A = int32(target)
+	}
+	var handlers []Handler
+	for _, h := range a.handlers {
+		start, err := resolve(h.start)
+		if err != nil {
+			return nil, nil, err
+		}
+		end, err := resolve(h.end)
+		if err != nil {
+			return nil, nil, err
+		}
+		target, err := resolve(h.target)
+		if err != nil {
+			return nil, nil, err
+		}
+		handlers = append(handlers, Handler{StartPC: start, EndPC: end, HandlerPC: target})
+	}
+	return a.instrs, handlers, nil
+}
+
+// MustBuild is Build for statically-known-correct listings; it panics on
+// error.
+func (a *Asm) MustBuild() []Instr {
+	code, err := a.Build()
+	if err != nil {
+		panic("vm: " + err.Error())
+	}
+	return code
+}
+
+// Disassemble renders code one instruction per line with indices.
+func Disassemble(code []Instr) string {
+	s := ""
+	for i, in := range code {
+		s += fmt.Sprintf("%4d  %s\n", i, in)
+	}
+	return s
+}

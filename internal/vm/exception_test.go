@@ -1,0 +1,268 @@
+package vm
+
+import (
+	"strings"
+	"testing"
+
+	"thinlock/internal/core"
+)
+
+func TestThrowCaughtInSameMethod(t *testing.T) {
+	asm := NewAsm().
+		Label("start").
+		Iconst(42).Throw().
+		Label("end").
+		Iconst(0).IReturn(). // skipped
+		Label("handler").
+		Iconst(1).Iadd().IReturn(). // exception value + 1
+		Protect("start", "end", "handler")
+	code, handlers, err := asm.BuildWithHandlers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, th := newVM(t, func(p *Program) {
+		p.AddMethod(&Method{
+			Name: "m", Flags: FlagStatic | FlagReturnsValue,
+			Code: code, Handlers: handlers,
+		})
+	})
+	res, err := v.Run(th, "m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.I != 43 {
+		t.Fatalf("result = %d, want 43 (caught 42 + 1)", res.I)
+	}
+}
+
+func TestThrowPropagatesToCaller(t *testing.T) {
+	v, th := newVM(t, func(p *Program) {
+		// thrower (index 0): throws 7 unconditionally.
+		p.AddMethod(&Method{
+			Name: "thrower", Flags: FlagStatic | FlagReturnsValue,
+			Code: NewAsm().Iconst(7).Throw().MustBuild(),
+		})
+		// catcher: invokes thrower under a handler.
+		asm := NewAsm().
+			Label("start").
+			Invoke(0).IReturn().
+			Label("end").
+			Label("handler").
+			Iconst(100).Iadd().IReturn().
+			Protect("start", "end", "handler")
+		code, handlers, err := asm.BuildWithHandlers()
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.AddMethod(&Method{
+			Name: "catcher", Flags: FlagStatic | FlagReturnsValue,
+			Code: code, Handlers: handlers,
+		})
+	})
+	res, err := v.Run(th, "catcher")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.I != 107 {
+		t.Fatalf("result = %d, want 107", res.I)
+	}
+}
+
+func TestUncaughtThrowBecomesError(t *testing.T) {
+	v, th := newVM(t, func(p *Program) {
+		p.AddMethod(&Method{
+			Name: "boom", Flags: FlagStatic | FlagReturnsValue,
+			Code: NewAsm().Iconst(13).Throw().MustBuild(),
+		})
+	})
+	_, err := v.Run(th, "boom")
+	if err == nil || !strings.Contains(err.Error(), "uncaught exception 13") {
+		t.Fatalf("err = %v, want uncaught exception 13", err)
+	}
+}
+
+// TestThrowReleasesSynchronizedMethodMonitor is the JVM guarantee the
+// exception machinery exists for: abrupt completion of a synchronized
+// method must release the receiver's monitor.
+func TestThrowReleasesSynchronizedMethodMonitor(t *testing.T) {
+	l := core.NewDefault()
+	v, th := newVMWithLocker(t, l, func(p *Program) {
+		c := &Class{Name: "C", NumFields: 0}
+		p.AddClass(c)
+		p.AddMethod(&Method{
+			Name: "boom", Class: c, Flags: FlagSync | FlagReturnsValue,
+			NumArgs: 1, MaxLocals: 1,
+			Code: NewAsm().Iconst(9).Throw().MustBuild(),
+		})
+	})
+	o, err := v.NewInstance("C")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.Run(th, "C.boom", RefValue(o)); err == nil {
+		t.Fatal("expected uncaught exception")
+	}
+	if !core.IsUnlocked(o.Header()) {
+		t.Fatalf("receiver still locked after abrupt completion: %#x", o.Header())
+	}
+	// The object must be fully usable afterwards.
+	l.Lock(th, o.Object)
+	if err := l.Unlock(th, o.Object); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHandlerReleasesMonitorEnterExitPair mimics what a Java compiler
+// emits for synchronized blocks: a catch-all handler that unlocks and
+// rethrows. The lock must be free after the exception escapes.
+func TestHandlerReleasesMonitorEnterExitPair(t *testing.T) {
+	l := core.NewDefault()
+	v, th := newVMWithLocker(t, l, func(p *Program) {
+		p.AddClass(&Class{Name: "L", NumFields: 0})
+		asm := NewAsm().
+			New(0).Astore(0).
+			Aload(0).MonitorEnter().
+			Label("start").
+			Iconst(5).Throw().
+			Label("end").
+			Aload(0).MonitorExit().
+			Iconst(0).IReturn().
+			Label("handler").
+			// stack: [exception]; unlock, then rethrow.
+			Aload(0).MonitorExit().
+			Throw().
+			Protect("start", "end", "handler")
+		code, handlers, err := asm.BuildWithHandlers()
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.AddMethod(&Method{
+			Name: "m", Flags: FlagStatic | FlagReturnsValue,
+			MaxLocals: 1, Code: code, Handlers: handlers,
+		})
+	})
+	_, err := v.Run(th, "m")
+	if err == nil || !strings.Contains(err.Error(), "uncaught exception 5") {
+		t.Fatalf("err = %v", err)
+	}
+	if s := l.Stats(); s.Inflations() != 0 {
+		t.Error("inflated during single-threaded run")
+	}
+}
+
+func TestFirstCoveringHandlerWins(t *testing.T) {
+	asm := NewAsm().
+		Label("start").
+		Iconst(1).Throw().
+		Label("end").
+		Iconst(0).IReturn().
+		Label("h1").
+		Iconst(10).Iadd().IReturn().
+		Label("h2").
+		Iconst(20).Iadd().IReturn().
+		Protect("start", "end", "h1").
+		Protect("start", "end", "h2")
+	code, handlers, err := asm.BuildWithHandlers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, th := newVM(t, func(p *Program) {
+		p.AddMethod(&Method{Name: "m", Flags: FlagStatic | FlagReturnsValue,
+			Code: code, Handlers: handlers})
+	})
+	res, err := v.Run(th, "m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.I != 11 {
+		t.Fatalf("result = %d, want 11 (first handler)", res.I)
+	}
+}
+
+func TestHandlerClearsOperandStack(t *testing.T) {
+	// Throw with junk on the stack: the handler sees only the exception.
+	asm := NewAsm().
+		Iconst(111).Iconst(222). // junk
+		Label("start").
+		Iconst(3).Throw().
+		Label("end").
+		Pop().Pop().Iconst(0).IReturn().
+		Label("handler").
+		IReturn(). // returns exactly the thrown value
+		Protect("start", "end", "handler")
+	code, handlers, err := asm.BuildWithHandlers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, th := newVM(t, func(p *Program) {
+		p.AddMethod(&Method{Name: "m", Flags: FlagStatic | FlagReturnsValue,
+			Code: code, Handlers: handlers})
+	})
+	res, err := v.Run(th, "m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.I != 3 {
+		t.Fatalf("result = %d, want 3", res.I)
+	}
+}
+
+func TestVerifyRejectsBadHandlers(t *testing.T) {
+	cases := []struct {
+		name string
+		h    Handler
+		want string
+	}{
+		{"inverted range", Handler{StartPC: 2, EndPC: 1, HandlerPC: 0}, "bad range"},
+		{"range past end", Handler{StartPC: 0, EndPC: 99, HandlerPC: 0}, "bad range"},
+		{"target out of range", Handler{StartPC: 0, EndPC: 1, HandlerPC: 99}, "outside"},
+		{"negative start", Handler{StartPC: -1, EndPC: 1, HandlerPC: 0}, "bad range"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := &Method{
+				Name: "m", Flags: FlagStatic,
+				Code:     []Instr{{Op: OpReturn}, {Op: OpReturn}},
+				Handlers: []Handler{tc.h},
+			}
+			err := verifyOne(m)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestVerifySeedsHandlerDepth(t *testing.T) {
+	// The handler consumes the thrown value; an unbalanced handler must
+	// be rejected.
+	asm := NewAsm().
+		Label("start").
+		Iconst(1).Throw().
+		Label("end").
+		Iconst(0).IReturn().
+		Label("handler").
+		Pop().Pop(). // underflow: only the exception is on the stack
+		Iconst(0).IReturn().
+		Protect("start", "end", "handler")
+	code, handlers, err := asm.BuildWithHandlers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &Method{Name: "m", Flags: FlagStatic | FlagReturnsValue,
+		Code: code, Handlers: handlers}
+	if err := verifyOne(m); err == nil || !strings.Contains(err.Error(), "underflow") {
+		t.Fatalf("err = %v, want underflow", err)
+	}
+}
+
+func TestBuildRejectsHandlersWithoutBuildWithHandlers(t *testing.T) {
+	asm := NewAsm().Label("a").Return().Label("b").Protect("a", "b", "a")
+	if _, err := asm.Build(); err == nil {
+		t.Fatal("Build accepted a listing with handlers")
+	}
+	bad := NewAsm().Label("a").Return().Protect("a", "missing", "a")
+	if _, _, err := bad.BuildWithHandlers(); err == nil {
+		t.Fatal("unresolved handler label accepted")
+	}
+}

@@ -1,0 +1,90 @@
+package vm
+
+import (
+	"testing"
+)
+
+// FuzzVerify feeds arbitrary instruction streams to the verifier: it must
+// either reject them or accept without panicking, and it must never
+// accept code that jumps out of range.
+func FuzzVerify(f *testing.F) {
+	// Seed with a valid method and a few near-valid mutations.
+	valid := NewAsm().
+		Iconst(0).Istore(1).
+		Label("loop").
+		Iload(1).Iload(0).IfICmpGE("done").
+		Iinc(1, 1).Goto("loop").
+		Label("done").
+		Iload(1).IReturn().
+		MustBuild()
+	f.Add(encode(valid), 1, 2, true, 0, 0, 0)
+	f.Add(encode([]Instr{{Op: OpReturn}}), 0, 0, false, 0, 1, 0)
+	f.Add(encode([]Instr{{Op: OpGoto, A: 0}}), 0, 1, false, -1, 5, 2)
+	f.Add(encode([]Instr{{Op: OpNew, A: 0}, {Op: OpPop}, {Op: OpReturn}}), 0, 0, false, 0, 3, 1)
+	f.Add(encode([]Instr{{Op: OpIconst, A: 1}, {Op: OpThrow}, {Op: OpIReturn}}), 0, 0, true, 0, 2, 2)
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}, 2, 4, true, 1, 2, 3)
+
+	f.Fuzz(func(t *testing.T, raw []byte, numArgs, maxLocals int, returns bool,
+		hStart, hEnd, hTarget int) {
+		code := decode(raw)
+		if len(code) == 0 {
+			return
+		}
+		if numArgs < 0 || numArgs > 8 || maxLocals < 0 || maxLocals > 16 {
+			return
+		}
+		flags := FlagStatic
+		if returns {
+			flags |= FlagReturnsValue
+		}
+		var handlers []Handler
+		if hStart != 0 || hEnd != 0 || hTarget != 0 {
+			handlers = []Handler{{StartPC: hStart, EndPC: hEnd, HandlerPC: hTarget}}
+		}
+		m := &Method{
+			Name: "fuzz", Flags: flags,
+			NumArgs: numArgs, MaxLocals: maxLocals,
+			Code: code, Handlers: handlers,
+		}
+		p := NewProgram()
+		p.AddClass(&Class{Name: "C", NumFields: 2})
+		p.AddMethod(m)
+		// Must not panic; errors are expected for garbage input.
+		err := verify(p, m)
+		if err != nil {
+			return
+		}
+		// Accepted code must have in-range jump targets.
+		for pc, in := range code {
+			switch in.Op {
+			case OpGoto, OpIfICmpLT, OpIfICmpGE, OpIfEQ, OpIfNE:
+				if int(in.A) < 0 || int(in.A) >= len(code) {
+					t.Fatalf("verifier accepted out-of-range jump at pc %d: %v", pc, in)
+				}
+			}
+		}
+	})
+}
+
+// encode packs instructions into a fuzz-friendly byte string.
+func encode(code []Instr) []byte {
+	out := make([]byte, 0, len(code)*3)
+	for _, in := range code {
+		out = append(out, byte(in.Op), byte(int8(in.A)), byte(int8(in.B)))
+	}
+	return out
+}
+
+// decode unpacks 3-byte groups into instructions, mapping bytes onto the
+// opcode space and small signed operands.
+func decode(raw []byte) []Instr {
+	var code []Instr
+	for i := 0; i+2 < len(raw); i += 3 {
+		code = append(code, Instr{
+			Op: Op(raw[i] % byte(opCount)),
+			A:  int32(int8(raw[i+1])),
+			B:  int32(int8(raw[i+2])),
+		})
+	}
+	return code
+}

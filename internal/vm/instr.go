@@ -1,0 +1,178 @@
+// Package vm is a small stack-based bytecode interpreter in the mold of
+// the JDK 1.1 interpreter the paper instrumented. It exists so that the
+// paper's reference measurements are meaningful in this reproduction:
+// the NoSync micro-benchmark "measures the cost of bytecode
+// interpretation of the loop" (§3.3), and the Figure 6 "NOP" variant
+// removes synchronization work while keeping bytecode dispatch. The
+// monitorenter/monitorexit bytecodes and synchronized method invocation
+// route through the same pluggable lock implementations as everything
+// else in this repository.
+package vm
+
+import "fmt"
+
+// Op is a bytecode opcode.
+type Op uint8
+
+// The instruction set. A and B are immediate operands; stack effects are
+// noted per opcode.
+const (
+	// OpNop does nothing.
+	OpNop Op = iota
+	// OpIconst pushes the constant A.
+	OpIconst
+	// OpIload pushes locals[A].
+	OpIload
+	// OpIstore pops into locals[A].
+	OpIstore
+	// OpIinc adds B to locals[A] without touching the stack.
+	OpIinc
+	// OpIadd pops b, a and pushes a+b.
+	OpIadd
+	// OpIsub pops b, a and pushes a-b.
+	OpIsub
+	// OpImul pops b, a and pushes a*b.
+	OpImul
+	// OpDup duplicates the top of stack.
+	OpDup
+	// OpPop discards the top of stack.
+	OpPop
+	// OpGoto jumps to instruction index A.
+	OpGoto
+	// OpIfICmpLT pops b, a and jumps to A if a < b.
+	OpIfICmpLT
+	// OpIfICmpGE pops b, a and jumps to A if a >= b.
+	OpIfICmpGE
+	// OpIfEQ pops a and jumps to A if a == 0.
+	OpIfEQ
+	// OpIfNE pops a and jumps to A if a != 0.
+	OpIfNE
+	// OpAload pushes the reference in locals[A].
+	OpAload
+	// OpAstore pops a reference into locals[A].
+	OpAstore
+	// OpNew pushes a new instance of class index A.
+	OpNew
+	// OpNewArray pushes a new reference array of length A.
+	OpNewArray
+	// OpALoadIdx pops index, arrayref and pushes arrayref[index].
+	OpALoadIdx
+	// OpAStoreIdx pops value, index, arrayref and stores
+	// arrayref[index] = value.
+	OpAStoreIdx
+	// OpGetField pops a reference and pushes its field A.
+	OpGetField
+	// OpPutField pops value, reference and stores field A.
+	OpPutField
+	// OpMonitorEnter pops a reference and locks it.
+	OpMonitorEnter
+	// OpMonitorExit pops a reference and unlocks it.
+	OpMonitorExit
+	// OpInvoke calls method index A, popping its arguments (receiver
+	// first for instance methods) and pushing its result if any.
+	OpInvoke
+	// OpReturn returns void.
+	OpReturn
+	// OpIReturn pops the return value and returns it.
+	OpIReturn
+	// OpAReturn pops a reference return value and returns it.
+	OpAReturn
+	// OpThrow pops an exception value and throws it: control transfers
+	// to the innermost handler covering the current pc, or unwinds to
+	// the caller (releasing a synchronized method's monitor on the
+	// way, as the JVM does on abrupt completion).
+	OpThrow
+	opCount // sentinel
+)
+
+var opNames = [...]string{
+	OpNop:          "nop",
+	OpIconst:       "iconst",
+	OpIload:        "iload",
+	OpIstore:       "istore",
+	OpIinc:         "iinc",
+	OpIadd:         "iadd",
+	OpIsub:         "isub",
+	OpImul:         "imul",
+	OpDup:          "dup",
+	OpPop:          "pop",
+	OpGoto:         "goto",
+	OpIfICmpLT:     "if_icmplt",
+	OpIfICmpGE:     "if_icmpge",
+	OpIfEQ:         "ifeq",
+	OpIfNE:         "ifne",
+	OpAload:        "aload",
+	OpAstore:       "astore",
+	OpNew:          "new",
+	OpNewArray:     "newarray",
+	OpALoadIdx:     "aaload",
+	OpAStoreIdx:    "aastore",
+	OpGetField:     "getfield",
+	OpPutField:     "putfield",
+	OpMonitorEnter: "monitorenter",
+	OpMonitorExit:  "monitorexit",
+	OpInvoke:       "invoke",
+	OpReturn:       "return",
+	OpIReturn:      "ireturn",
+	OpAReturn:      "areturn",
+	OpThrow:        "athrow",
+}
+
+// String returns the mnemonic.
+func (op Op) String() string {
+	if int(op) < len(opNames) && opNames[op] != "" {
+		return opNames[op]
+	}
+	return fmt.Sprintf("op(%d)", uint8(op))
+}
+
+// Instr is one decoded instruction.
+type Instr struct {
+	Op   Op
+	A, B int32
+}
+
+// String renders the instruction for disassembly.
+func (in Instr) String() string {
+	switch in.Op {
+	case OpNop, OpIadd, OpIsub, OpImul, OpDup, OpPop, OpALoadIdx, OpAStoreIdx,
+		OpMonitorEnter, OpMonitorExit, OpReturn, OpIReturn, OpAReturn, OpThrow:
+		return in.Op.String()
+	case OpIinc:
+		return fmt.Sprintf("%s %d %d", in.Op, in.A, in.B)
+	default:
+		return fmt.Sprintf("%s %d", in.Op, in.A)
+	}
+}
+
+// stackEffect returns (pops, pushes) for the verifier. Invoke is handled
+// separately because its effect depends on the callee.
+func (in Instr) stackEffect() (pops, pushes int) {
+	switch in.Op {
+	case OpNop, OpGoto, OpIinc:
+		return 0, 0
+	case OpIconst, OpIload, OpAload, OpNew, OpNewArray:
+		return 0, 1
+	case OpIstore, OpAstore, OpPop, OpIfEQ, OpIfNE,
+		OpMonitorEnter, OpMonitorExit, OpIReturn, OpAReturn, OpThrow:
+		return 1, 0
+	case OpIadd, OpIsub, OpImul:
+		return 2, 1
+	case OpDup:
+		return 1, 2
+	case OpIfICmpLT, OpIfICmpGE:
+		return 2, 0
+	case OpALoadIdx:
+		return 2, 1
+	case OpAStoreIdx:
+		return 3, 0
+	case OpGetField:
+		return 1, 1
+	case OpPutField:
+		return 2, 0
+	case OpReturn:
+		return 0, 0
+	default:
+		return 0, 0
+	}
+}

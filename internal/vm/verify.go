@@ -1,0 +1,154 @@
+package vm
+
+import "fmt"
+
+// verify performs a bytecode sanity pass over m: jump targets are in
+// range, locals indices fit MaxLocals, the operand stack never
+// underflows, stack depths agree at merge points, every path ends in a
+// return matching the method's flags, and the method's maximum stack
+// depth is computed for frame preallocation.
+func verify(p *Program, m *Method) error {
+	n := len(m.Code)
+	if n == 0 {
+		return fmt.Errorf("empty code")
+	}
+	if m.NumArgs > m.MaxLocals {
+		return fmt.Errorf("NumArgs %d exceeds MaxLocals %d", m.NumArgs, m.MaxLocals)
+	}
+	if m.Sync() && !m.Static() && m.NumArgs < 1 {
+		return fmt.Errorf("synchronized instance method needs a receiver argument")
+	}
+	if m.Sync() && m.Static() && m.Class == nil {
+		return fmt.Errorf("static synchronized method needs a class")
+	}
+
+	// Exception table sanity: ranges and handler targets must be in
+	// bounds, with non-empty ranges.
+	for i, h := range m.Handlers {
+		if h.StartPC < 0 || h.EndPC > n || h.StartPC >= h.EndPC {
+			return fmt.Errorf("handler %d: bad range [%d,%d) over %d instructions", i, h.StartPC, h.EndPC, n)
+		}
+		if h.HandlerPC < 0 || h.HandlerPC >= n {
+			return fmt.Errorf("handler %d: target %d outside [0,%d)", i, h.HandlerPC, n)
+		}
+	}
+
+	// Static pre-pass: every instruction's immediate operands must be
+	// valid even if the instruction turns out to be unreachable, as in
+	// the JVM's bytecode verifier.
+	for pc, in := range m.Code {
+		switch in.Op {
+		case OpGoto, OpIfICmpLT, OpIfICmpGE, OpIfEQ, OpIfNE:
+			if int(in.A) < 0 || int(in.A) >= n {
+				return fmt.Errorf("pc %d (%s): jump target outside [0,%d)", pc, in, n)
+			}
+		case OpIload, OpIstore, OpIinc, OpAload, OpAstore:
+			if int(in.A) < 0 || int(in.A) >= m.MaxLocals {
+				return fmt.Errorf("pc %d (%s): local %d outside MaxLocals %d", pc, in, in.A, m.MaxLocals)
+			}
+		case OpNew:
+			if int(in.A) < 0 || int(in.A) >= len(p.Classes) {
+				return fmt.Errorf("pc %d: new of unknown class %d", pc, in.A)
+			}
+		case OpInvoke:
+			if int(in.A) < 0 || int(in.A) >= len(p.Methods) {
+				return fmt.Errorf("pc %d: invoke of unknown method %d", pc, in.A)
+			}
+		case OpNewArray:
+			if in.A < 0 {
+				return fmt.Errorf("pc %d: negative array length %d", pc, in.A)
+			}
+		}
+	}
+
+	const unvisited = -1
+	depthAt := make([]int, n)
+	for i := range depthAt {
+		depthAt[i] = unvisited
+	}
+	maxDepth := 0
+
+	type workItem struct{ pc, depth int }
+	work := []workItem{{0, 0}}
+	// Handler entries execute with the operand stack holding exactly the
+	// thrown value.
+	for _, h := range m.Handlers {
+		work = append(work, workItem{h.HandlerPC, 1})
+	}
+
+	branch := func(in Instr) (target int, isJump, falls bool) {
+		switch in.Op {
+		case OpGoto:
+			return int(in.A), true, false
+		case OpIfICmpLT, OpIfICmpGE, OpIfEQ, OpIfNE:
+			return int(in.A), true, true
+		case OpReturn, OpIReturn, OpAReturn, OpThrow:
+			return 0, false, false
+		default:
+			return 0, false, true
+		}
+	}
+
+	for len(work) > 0 {
+		item := work[len(work)-1]
+		work = work[:len(work)-1]
+		pc, depth := item.pc, item.depth
+		if d := depthAt[pc]; d != unvisited {
+			if d != depth {
+				return fmt.Errorf("pc %d reached with stack depths %d and %d", pc, d, depth)
+			}
+			continue
+		}
+		depthAt[pc] = depth
+
+		in := m.Code[pc]
+		pops, pushes := in.stackEffect()
+		if in.Op == OpInvoke {
+			callee := p.Methods[in.A]
+			pops = callee.NumArgs
+			if callee.ReturnsValue() {
+				pushes = 1
+			} else {
+				pushes = 0
+			}
+		}
+		if depth < pops {
+			return fmt.Errorf("pc %d (%s): stack underflow (depth %d, pops %d)", pc, in, depth, pops)
+		}
+		depth = depth - pops + pushes
+		if depth > maxDepth {
+			maxDepth = depth
+		}
+
+		switch in.Op {
+		case OpIReturn, OpAReturn:
+			if !m.ReturnsValue() {
+				return fmt.Errorf("pc %d: value return from void method", pc)
+			}
+			if depth != 0 {
+				return fmt.Errorf("pc %d: return leaves %d values on stack", pc, depth)
+			}
+		case OpReturn:
+			if m.ReturnsValue() {
+				return fmt.Errorf("pc %d: void return from value-returning method", pc)
+			}
+			if depth != 0 {
+				return fmt.Errorf("pc %d: return leaves %d values on stack", pc, depth)
+			}
+		}
+
+		target, isJump, falls := branch(in)
+		if isJump {
+			work = append(work, workItem{target, depth})
+		}
+		if falls {
+			if pc+1 >= n {
+				return fmt.Errorf("pc %d (%s): control falls off the end", pc, in)
+			}
+			work = append(work, workItem{pc + 1, depth})
+		}
+	}
+
+	m.maxStack = maxDepth
+	return nil
+}

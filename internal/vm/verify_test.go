@@ -1,0 +1,226 @@
+package vm
+
+import (
+	"strings"
+	"testing"
+)
+
+// verifyOne builds a single-method program and verifies it.
+func verifyOne(m *Method) error {
+	p := NewProgram()
+	if m.Class != nil {
+		p.AddClass(m.Class)
+	}
+	p.AddMethod(m)
+	return verify(p, m)
+}
+
+func TestVerifyAcceptsGoodCode(t *testing.T) {
+	m := &Method{
+		Name: "ok", Flags: FlagStatic | FlagReturnsValue,
+		NumArgs: 1, MaxLocals: 2,
+		Code: NewAsm().
+			Iconst(0).Istore(1).
+			Label("loop").
+			Iload(1).Iload(0).IfICmpGE("done").
+			Iinc(1, 1).Goto("loop").
+			Label("done").
+			Iload(1).IReturn().
+			MustBuild(),
+	}
+	if err := verifyOne(m); err != nil {
+		t.Fatalf("good code rejected: %v", err)
+	}
+	if m.maxStack != 2 {
+		t.Errorf("maxStack = %d, want 2", m.maxStack)
+	}
+}
+
+func TestVerifyRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		m    *Method
+		want string
+	}{
+		{
+			"empty code",
+			&Method{Name: "m", Flags: FlagStatic},
+			"empty",
+		},
+		{
+			"stack underflow",
+			&Method{Name: "m", Flags: FlagStatic,
+				Code: []Instr{{Op: OpPop}, {Op: OpReturn}}},
+			"underflow",
+		},
+		{
+			"falls off end",
+			&Method{Name: "m", Flags: FlagStatic,
+				Code: []Instr{{Op: OpNop}}},
+			"falls off",
+		},
+		{
+			"jump out of range",
+			&Method{Name: "m", Flags: FlagStatic,
+				Code: []Instr{{Op: OpGoto, A: 99}}},
+			"outside",
+		},
+		{
+			"local out of range",
+			&Method{Name: "m", Flags: FlagStatic, MaxLocals: 1,
+				Code: []Instr{{Op: OpIload, A: 5}, {Op: OpPop}, {Op: OpReturn}}},
+			"MaxLocals",
+		},
+		{
+			"value return from void",
+			&Method{Name: "m", Flags: FlagStatic,
+				Code: []Instr{{Op: OpIconst, A: 1}, {Op: OpIReturn}}},
+			"void method",
+		},
+		{
+			"void return from value method",
+			&Method{Name: "m", Flags: FlagStatic | FlagReturnsValue,
+				Code: []Instr{{Op: OpReturn}}},
+			"value-returning",
+		},
+		{
+			"return with residue",
+			&Method{Name: "m", Flags: FlagStatic,
+				Code: []Instr{{Op: OpIconst, A: 1}, {Op: OpReturn}}},
+			"leaves",
+		},
+		{
+			"args exceed locals",
+			&Method{Name: "m", Flags: FlagStatic, NumArgs: 3, MaxLocals: 1,
+				Code: []Instr{{Op: OpReturn}}},
+			"exceeds MaxLocals",
+		},
+		{
+			"sync instance without receiver",
+			&Method{Name: "m", Flags: FlagSync,
+				Code: []Instr{{Op: OpReturn}}},
+			"receiver",
+		},
+		{
+			"sync static without class",
+			&Method{Name: "m", Flags: FlagSync | FlagStatic,
+				Code: []Instr{{Op: OpReturn}}},
+			"class",
+		},
+		{
+			"unknown class in new",
+			&Method{Name: "m", Flags: FlagStatic,
+				Code: []Instr{{Op: OpNew, A: 7}, {Op: OpPop}, {Op: OpReturn}}},
+			"unknown class",
+		},
+		{
+			"unknown method in invoke",
+			&Method{Name: "m", Flags: FlagStatic,
+				Code: []Instr{{Op: OpInvoke, A: 9}, {Op: OpReturn}}},
+			"unknown method",
+		},
+		{
+			"negative array length",
+			&Method{Name: "m", Flags: FlagStatic,
+				Code: []Instr{{Op: OpNewArray, A: -1}, {Op: OpPop}, {Op: OpReturn}}},
+			"negative",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := verifyOne(tc.m)
+			if err == nil {
+				t.Fatalf("verifier accepted %s", tc.name)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestVerifyInconsistentMergeDepth(t *testing.T) {
+	// Two paths reach the same pc with different stack depths.
+	m := &Method{
+		Name: "m", Flags: FlagStatic, MaxLocals: 1,
+		Code: NewAsm().
+			Iload(0).IfEQ("merge").
+			Iconst(1). // depth 1 on fallthrough path
+			Label("merge").
+			Pop(). // would underflow on the branch path
+			Return().
+			MustBuild(),
+	}
+	err := verifyOne(m)
+	if err == nil {
+		t.Fatal("inconsistent merge accepted")
+	}
+	if !strings.Contains(err.Error(), "depths") && !strings.Contains(err.Error(), "underflow") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestVerifyInvokeStackAccounting(t *testing.T) {
+	p := NewProgram()
+	callee := &Method{
+		Name: "two", Flags: FlagStatic | FlagReturnsValue,
+		NumArgs: 2, MaxLocals: 2,
+		Code: NewAsm().Iload(0).Iload(1).Iadd().IReturn().MustBuild(),
+	}
+	p.AddMethod(callee)
+	caller := &Method{
+		Name: "call", Flags: FlagStatic | FlagReturnsValue,
+		Code: NewAsm().Iconst(1).Iconst(2).Invoke(0).IReturn().MustBuild(),
+	}
+	p.AddMethod(caller)
+	if err := verify(p, callee); err != nil {
+		t.Fatal(err)
+	}
+	if err := verify(p, caller); err != nil {
+		t.Fatal(err)
+	}
+	if caller.maxStack != 2 {
+		t.Errorf("caller maxStack = %d, want 2", caller.maxStack)
+	}
+
+	// A caller that supplies too few arguments must be rejected.
+	bad := &Method{
+		Name: "bad", Flags: FlagStatic | FlagReturnsValue,
+		Code: NewAsm().Iconst(1).Invoke(0).IReturn().MustBuild(),
+	}
+	p.AddMethod(bad)
+	if err := verify(p, bad); err == nil {
+		t.Fatal("under-supplied invoke accepted")
+	}
+}
+
+func TestAsmErrors(t *testing.T) {
+	if _, err := NewAsm().Goto("nowhere").Build(); err == nil {
+		t.Error("undefined label accepted")
+	}
+	if _, err := NewAsm().Label("x").Label("x").Return().Build(); err == nil {
+		t.Error("duplicate label accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustBuild did not panic on bad listing")
+		}
+	}()
+	NewAsm().Goto("nowhere").MustBuild()
+}
+
+func TestOpStrings(t *testing.T) {
+	if OpMonitorEnter.String() != "monitorenter" {
+		t.Error("op name")
+	}
+	if Op(200).String() != "op(200)" {
+		t.Error("unknown op name")
+	}
+	in := Instr{Op: OpIinc, A: 3, B: -1}
+	if in.String() != "iinc 3 -1" {
+		t.Errorf("Instr.String = %q", in.String())
+	}
+	if (Instr{Op: OpIadd}).String() != "iadd" {
+		t.Error("no-operand Instr.String")
+	}
+}

@@ -1,0 +1,232 @@
+package workloads
+
+import (
+	"fmt"
+
+	"thinlock/internal/jcl"
+	"thinlock/internal/threading"
+)
+
+// runJax models the jax translator, whose profile was dominated by 19
+// million calls to BitSet.get — "two orders of magnitude more than for
+// any other method" (§3.4). The workload runs an iterative
+// reaching-definitions style dataflow over a synthetic control-flow
+// graph, with per-node gen/kill/in/out BitSets.
+func runJax(ctx *jcl.Context, t *threading.Thread, size int) uint64 {
+	nodes := 16 * size
+	bits := 8 * size
+
+	gen := make([]*jcl.BitSet, nodes)
+	kill := make([]*jcl.BitSet, nodes)
+	in := make([]*jcl.BitSet, nodes)
+	out := make([]*jcl.BitSet, nodes)
+	heap := ctx.Heap()
+	for i := 0; i < nodes; i++ {
+		// Plain per-node IR objects (never synchronized).
+		heap.New("FlowNode")
+		heap.New("Insn[]")
+		heap.New("int[]")
+		gen[i] = ctx.NewBitSet(bits)
+		kill[i] = ctx.NewBitSet(bits)
+		in[i] = ctx.NewBitSet(bits)
+		out[i] = ctx.NewBitSet(bits)
+		// Deterministic sparse gen/kill sets.
+		gen[i].Set(t, (i*7)%bits)
+		gen[i].Set(t, (i*13+5)%bits)
+		kill[i].Set(t, (i*11+3)%bits)
+	}
+
+	// Fixpoint: out[i] = gen[i] | (in[i] &^ kill[i]);
+	// in[i] = out[pred1] | out[pred2]. Predecessors form a static
+	// deterministic graph. All bit reads go through the synchronized
+	// BitSet.Get path, as in jax.
+	changed := true
+	rounds := 0
+	var sum uint64
+	for changed && rounds < 20 {
+		changed = false
+		rounds++
+		for i := 0; i < nodes; i++ {
+			p1 := (i + nodes - 1) % nodes
+			p2 := (i * 3 % nodes)
+			for b := 0; b < bits; b++ {
+				inBit := out[p1].Get(t, b) || out[p2].Get(t, b)
+				if inBit && !in[i].Get(t, b) {
+					in[i].Set(t, b)
+				}
+				outBit := gen[i].Get(t, b) || (in[i].Get(t, b) && !kill[i].Get(t, b))
+				if outBit && !out[i].Get(t, b) {
+					out[i].Set(t, b)
+					changed = true
+				}
+			}
+		}
+	}
+	for i := 0; i < nodes; i++ {
+		sum = mix(sum, uint64(out[i].Cardinality(t))<<8|uint64(in[i].Cardinality(t)))
+	}
+	return mix(sum, uint64(rounds))
+}
+
+// runHashjava models the HashJava obfuscator: every identifier in the
+// source is looked up in (and inserted into) a shared synchronized
+// Hashtable mapping it to a generated short name, and the output is
+// rebuilt through StringBuffers.
+func runHashjava(ctx *jcl.Context, t *threading.Thread, size int) uint64 {
+	src := sourceText(65 * size)
+	tokens := tokenize(ctx, t, src)
+	names := ctx.NewHashtable()
+	out := ctx.NewStringBuffer()
+
+	next := 0
+	obfuscate := func(ident string) string {
+		if v := names.Get(t, ident); v != nil {
+			return v.(string)
+		}
+		next++
+		short := fmt.Sprintf("z%d", next)
+		names.Put(t, ident, short)
+		return short
+	}
+
+	n := tokens.Size(t)
+	for pass := 0; pass < 4; pass++ {
+		for i := 0; i < n; i++ {
+			tok := tokens.ElementAt(t, i).(string)
+			if isIdentChar(tok[0]) && !isDigit(tok[0]) {
+				out.Append(t, obfuscate(tok))
+			} else {
+				out.Append(t, tok)
+			}
+		}
+		out.SetLength(t, 0) // new output file per pass
+	}
+	return mix(uint64(names.Size(t)), uint64(next))
+}
+
+// runJavadoc models the document generator: per declaration it renders
+// HTML-ish text with synchronized StringBuffer appends and maintains a
+// Vector index plus a cross-reference Hashtable.
+func runJavadoc(ctx *jcl.Context, t *threading.Thread, size int) uint64 {
+	index := ctx.NewVector()
+	xref := ctx.NewHashtable()
+
+	heap := ctx.Heap()
+	var sum uint64
+	for class := 0; class < 10*size; class++ {
+		doc := ctx.NewStringBuffer()
+		heap.New("ClassDoc")
+		doc.Append(t, "<h1>Class C").AppendInt(t, int64(class)).Append(t, "</h1>\n")
+		for method := 0; method < 12; method++ {
+			doc.Append(t, "<h2>method m").AppendInt(t, int64(method)).Append(t, "</h2>\n")
+			doc.Append(t, "<p>Returns the ")
+			doc.Append(t, []string{"value", "index", "count", "name"}[method%4])
+			doc.Append(t, " of this object.</p>\n")
+			heap.New("MethodDoc")
+			heap.New("String")
+			key := fmt.Sprintf("C%d.m%d", class, method)
+			xref.Put(t, key, class*100+method)
+		}
+		rendered := doc.String(t)
+		index.AddElement(t, rendered)
+		sum = mix(sum, uint64(doc.Length(t)))
+	}
+	// Index pass: resolve a deterministic sample of cross references.
+	n := index.Size(t)
+	for i := 0; i < n; i++ {
+		s := index.ElementAt(t, i).(string)
+		sum = mix(sum, hashString(s[:16]))
+		key := fmt.Sprintf("C%d.m%d", i, i%12)
+		if v := xref.Get(t, key); v != nil {
+			sum = mix(sum, uint64(v.(int)))
+		}
+	}
+	return sum
+}
+
+// runJnet models the neural-net toolkit: the inner loops are pure
+// floating-point math over Go slices; the library is touched only for
+// the synchronized Random and a Vector of layer snapshots. Of the suite
+// this workload has by far the lowest sync density, so its speedup under
+// thin locks should be the smallest — the left end of Figure 5.
+func runJnet(ctx *jcl.Context, t *threading.Thread, size int) uint64 {
+	rnd := ctx.NewRandom(42)
+	history := ctx.NewVector()
+
+	const inputs, hidden = 16, 12
+	w1 := make([]float32, inputs*hidden)
+	w2 := make([]float32, hidden)
+	for i := range w1 {
+		w1[i] = rnd.NextFloat(t) - 0.5
+	}
+	for i := range w2 {
+		w2[i] = rnd.NextFloat(t) - 0.5
+	}
+
+	var acc float64
+	for epoch := 0; epoch < 40*size; epoch++ {
+		// Forward pass on a deterministic input.
+		var hiddenOut [hidden]float32
+		for h := 0; h < hidden; h++ {
+			var s float32
+			for i := 0; i < inputs; i++ {
+				x := float32((epoch+i)%7) / 7
+				s += w1[h*inputs+i] * x
+			}
+			if s < 0 {
+				s = -s // cheap nonlinearity
+			}
+			hiddenOut[h] = s
+		}
+		var out float32
+		for h := 0; h < hidden; h++ {
+			out += w2[h] * hiddenOut[h]
+		}
+		// Tiny "training" nudge.
+		target := float32(epoch%3) / 3
+		err := target - out
+		for h := 0; h < hidden; h++ {
+			w2[h] += 0.001 * err * hiddenOut[h]
+		}
+		acc += float64(err)
+		if epoch%10 == 0 {
+			ctx.Heap().New("Sample")
+		}
+		if epoch%100 == 0 {
+			history.AddElement(t, int(out*1000))
+		}
+	}
+	var sum uint64
+	n := history.Size(t)
+	for i := 0; i < n; i++ {
+		sum = mix(sum, uint64(int64(history.ElementAt(t, i).(int))&0xFFFF))
+	}
+	return mix(sum, uint64(int64(acc*1e3))&0xFFFFFFFF)
+}
+
+// runCrema models the Crema obfuscator: per "method" it allocates fresh
+// synchronized containers (a Vector and a Stack) and discards them,
+// creating a large working set of short-lived locked objects — the usage
+// pattern that defeats a 32-entry hot-lock table and thrashes a monitor
+// cache, but costs thin locks nothing.
+func runCrema(ctx *jcl.Context, t *threading.Thread, size int) uint64 {
+	heap := ctx.Heap()
+	var sum uint64
+	for unit := 0; unit < 40*size; unit++ {
+		locals := ctx.NewVector()
+		work := ctx.NewStack()
+		for i := 0; i < 24; i++ {
+			heap.New("Insn")
+			locals.AddElement(t, (unit*31+i*7)%97)
+			if i%3 == 0 {
+				work.Push(t, i)
+			}
+		}
+		for !work.Empty(t) {
+			i := work.Pop(t).(int)
+			sum = mix(sum, uint64(locals.ElementAt(t, i).(int)))
+		}
+		locals.RemoveAllElements(t)
+	}
+	return sum
+}

@@ -1,0 +1,111 @@
+package workloads
+
+import (
+	"thinlock/internal/jcl"
+	"thinlock/internal/threading"
+)
+
+// runJavalex models the javalex benchmark: the paper measured 3.4 million
+// method calls of which 2.4 million were synchronized, almost one million
+// of them to Vector.elementAt (§3.4). The workload tokenizes synthetic
+// source, then makes repeated synchronized elementAt passes over the
+// token vector — DFA-construction style.
+func runJavalex(ctx *jcl.Context, t *threading.Thread, size int) uint64 {
+	src := sourceText(80 * size)
+	tokens := tokenize(ctx, t, src)
+
+	var sum uint64
+	n := tokens.Size(t)
+	// Repeated scanning passes over the token vector, one synchronized
+	// elementAt per step, plus enumeration passes (also synchronized).
+	for pass := 0; pass < 12; pass++ {
+		for i := 0; i < n; i++ {
+			tok := tokens.ElementAt(t, i).(string)
+			sum = mix(sum, hashString(tok)+uint64(pass))
+		}
+	}
+	e := tokens.Elements()
+	for e.HasMoreElements(t) {
+		sum = mix(sum, hashString(e.NextElement(t).(string)))
+	}
+	return sum
+}
+
+// runJavaparser models the Sun grammar parser: a shift/reduce pass over
+// the token vector using a synchronized Stack, with Vector reads per
+// lookahead.
+func runJavaparser(ctx *jcl.Context, t *threading.Thread, size int) uint64 {
+	src := sourceText(60 * size)
+	tokens := tokenize(ctx, t, src)
+	stack := ctx.NewStack()
+
+	var sum uint64
+	n := tokens.Size(t)
+	for pass := 0; pass < 6; pass++ {
+		for i := 0; i < n; i++ {
+			tok := tokens.ElementAt(t, i).(string)
+			switch tok {
+			case ";", "}", ")":
+				// Reduce: pop to the matching opener or statement head.
+				for !stack.Empty(t) {
+					top := stack.Pop(t).(string)
+					sum = mix(sum, hashString(top))
+					if top == "{" || top == "(" || top == ";" {
+						break
+					}
+				}
+				stack.Push(t, ";")
+			default:
+				stack.Push(t, tok)
+			}
+		}
+		// Drain between passes.
+		for !stack.Empty(t) {
+			sum = mix(sum, hashString(stack.Pop(t).(string)))
+		}
+	}
+	return sum
+}
+
+// runJavac models the Sun compiler's front half: tokenize, intern
+// identifiers in a synchronized Hashtable symbol table, build a Vector
+// "IR", and emit through a StringBuffer.
+func runJavac(ctx *jcl.Context, t *threading.Thread, size int) uint64 {
+	src := sourceText(70 * size)
+	tokens := tokenize(ctx, t, src)
+	symtab := ctx.NewHashtable()
+	ir := ctx.NewVector()
+
+	n := tokens.Size(t)
+	nextID := 0
+	for i := 0; i < n; i++ {
+		tok := tokens.ElementAt(t, i).(string)
+		if isIdentChar(tok[0]) && !isDigit(tok[0]) {
+			if v := symtab.Get(t, tok); v == nil {
+				nextID++
+				symtab.Put(t, tok, nextID)
+			}
+			ir.AddElement(t, symtab.Get(t, tok))
+		} else {
+			ir.AddElement(t, tok)
+		}
+	}
+
+	// "Code generation": walk the IR, emitting text.
+	out := ctx.NewStringBuffer()
+	m := ir.Size(t)
+	for i := 0; i < m; i++ {
+		switch v := ir.ElementAt(t, i).(type) {
+		case int:
+			out.Append(t, "sym").AppendInt(t, int64(v))
+		case string:
+			out.Append(t, v)
+		}
+		if i%8 == 7 {
+			out.AppendChar(t, '\n')
+		}
+	}
+
+	sum := hashString(out.String(t))
+	return mix(uint64(symtab.Size(t)), sum)
+}

@@ -1,0 +1,90 @@
+package workloads
+
+import (
+	"fmt"
+
+	"thinlock/internal/jcl"
+	"thinlock/internal/minijava"
+	"thinlock/internal/threading"
+	"thinlock/internal/vm"
+)
+
+// minibankSource is a MiniJava program whose synchronized methods and
+// synchronized blocks dominate its run time — the one workload in the
+// suite that reaches the lock implementation through compiled bytecode
+// and the interpreter, exactly the paper's measurement path.
+const minibankSource = `
+class Account {
+    field balance;
+    sync method deposit(n) { this.balance = this.balance + n; return this.balance; }
+    sync method withdraw(n) { this.balance = this.balance - n; return this.balance; }
+    method balanceOf() { return this.balance; }
+}
+
+class Ledger {
+    field entries;
+    sync method record(n) { this.entries = this.entries + 1; return n; }
+}
+
+func transfer(from: Account, to: Account, ledger: Ledger, amount) {
+    synchronized (ledger) {
+        from.withdraw(amount);
+        to.deposit(amount);
+        ledger.record(amount);
+    }
+    return 0;
+}
+
+func churn(a: Account, b: Account, ledger: Ledger, rounds) {
+    var i = 0;
+    var sum = 0;
+    while (i < rounds) {
+        transfer(a, b, ledger, i - rounds * (i - rounds * (i * 1 == i)));
+        transfer(b, a, ledger, 1);
+        try {
+            if (i * 7 - (i * 7 - 13) == 13) { throw i + 1; }
+        } catch (e) {
+            sum = sum + e;
+        }
+        i = i + 1;
+    }
+    return sum + a.balanceOf() + b.balanceOf() * 3 + ledger.entries;
+}
+`
+
+// runMinibank compiles the MiniJava program once per run and executes it
+// on the VM against the workload's lock implementation.
+func runMinibank(ctx *jcl.Context, t *threading.Thread, size int) uint64 {
+	prog, err := minijava.Compile(minibankSource)
+	if err != nil {
+		panic(fmt.Sprintf("workloads: minibank does not compile: %v", err))
+	}
+	machine, err := vm.New(prog, ctx.Locker(), ctx.Heap())
+	if err != nil {
+		panic(fmt.Sprintf("workloads: minibank does not verify: %v", err))
+	}
+
+	var sum uint64
+	for unit := 0; unit < 2*size; unit++ {
+		a, err := machine.NewInstance("Account")
+		if err != nil {
+			panic(err)
+		}
+		b, err := machine.NewInstance("Account")
+		if err != nil {
+			panic(err)
+		}
+		ledger, err := machine.NewInstance("Ledger")
+		if err != nil {
+			panic(err)
+		}
+		a.Fields[0] = vm.IntValue(1000)
+		res, err := machine.Run(t, "churn",
+			vm.RefValue(a), vm.RefValue(b), vm.RefValue(ledger), vm.IntValue(200))
+		if err != nil {
+			panic(fmt.Sprintf("workloads: minibank run: %v", err))
+		}
+		sum = mix(sum, uint64(res.I))
+	}
+	return sum
+}

@@ -1,0 +1,119 @@
+package workloads
+
+import (
+	"fmt"
+
+	"thinlock/internal/jcl"
+	"thinlock/internal/threading"
+)
+
+// runNetrexx models the NetRexx-to-Java translator: line-oriented string
+// rewriting dominated by synchronized StringBuffer traffic, with a
+// keyword Hashtable consulted per token. Table 1 shows NetRexx with one
+// of the suite's largest sync counts.
+func runNetrexx(ctx *jcl.Context, t *threading.Thread, size int) uint64 {
+	src := sourceText(70 * size)
+	keywords := ctx.NewHashtable()
+	for i, kw := range []string{"if", "int", "long", "Object", "String", "Vector", "class"} {
+		keywords.Put(t, kw, i+1)
+	}
+	heap := ctx.Heap()
+
+	out := ctx.NewStringBuffer()
+	line := ctx.NewStringBuffer()
+	var sum uint64
+	flush := func() {
+		// "Emit" the translated line, then reset the buffer.
+		s := line.String(t)
+		heap.New("String")
+		out.Append(t, s).AppendChar(t, '\n')
+		sum = mix(sum, hashString(s))
+		line.SetLength(t, 0)
+		if out.Length(t) > 1<<14 {
+			out.SetLength(t, 0) // new output chunk
+		}
+	}
+
+	for i := 0; i < len(src); i++ {
+		c := src[i]
+		switch {
+		case c == '\n':
+			flush()
+		case isIdentChar(c):
+			start := i
+			for i < len(src) && isIdentChar(src[i]) {
+				i++
+			}
+			word := src[start:i]
+			i--
+			heap.New("String")
+			if v := keywords.Get(t, word); v != nil {
+				// Translate the keyword, NetRexx-style.
+				line.Append(t, "kw").AppendInt(t, int64(v.(int)))
+			} else {
+				line.Append(t, word)
+			}
+		default:
+			line.AppendChar(t, c)
+		}
+	}
+	flush()
+	return mix(sum, uint64(out.Length(t)))
+}
+
+// runJavacup models the JavaCUP parser generator: LALR-style set
+// construction over Vectors of item states, with a Stack-driven closure
+// worklist. Stack.Pop's nested synchronized calls give this workload the
+// suite's deepest Figure 3 profile, as javacup shows in the paper.
+func runJavacup(ctx *jcl.Context, t *threading.Thread, size int) uint64 {
+	heap := ctx.Heap()
+	const symbols = 24
+	productions := ctx.NewVector()
+	for i := 0; i < 12*size; i++ {
+		// A production is encoded as lhs*1000 + rhs1*31 + rhs2.
+		heap.New("Production")
+		lhs := i % symbols
+		rhs1 := (i * 7) % symbols
+		rhs2 := (i*13 + 5) % symbols
+		productions.AddElement(t, lhs*1000+rhs1*31+rhs2)
+	}
+
+	// Closure computation: for each seed symbol, expand reachable
+	// productions through a work stack; record state sizes.
+	states := ctx.NewVector()
+	var sum uint64
+	n := productions.Size(t)
+	for seed := 0; seed < symbols; seed++ {
+		work := ctx.NewStack()
+		seen := ctx.NewBitSet(symbols)
+		work.Push(t, seed)
+		stateSize := 0
+		for !work.Empty(t) {
+			sym := work.Pop(t).(int)
+			if seen.Get(t, sym) {
+				continue
+			}
+			seen.Set(t, sym)
+			for i := 0; i < n; i++ {
+				p := productions.ElementAt(t, i).(int)
+				if p/1000 == sym {
+					stateSize++
+					next := (p % 1000) / 31
+					if !seen.Get(t, next) {
+						work.Push(t, next)
+					}
+				}
+			}
+		}
+		heap.New("LalrState")
+		states.AddElement(t, stateSize)
+		sum = mix(sum, uint64(stateSize))
+	}
+	// Emit a parse table digest.
+	table := ctx.NewStringBuffer()
+	m := states.Size(t)
+	for i := 0; i < m; i++ {
+		table.Append(t, fmt.Sprintf("s%d:%d;", i, states.ElementAt(t, i).(int)))
+	}
+	return mix(sum, hashString(table.String(t)))
+}

@@ -1,0 +1,226 @@
+package workloads
+
+import (
+	"strings"
+	"testing"
+
+	"thinlock/internal/core"
+	"thinlock/internal/hotlocks"
+	"thinlock/internal/jcl"
+	"thinlock/internal/lockapi"
+	"thinlock/internal/monitorcache"
+	"thinlock/internal/object"
+	"thinlock/internal/threading"
+)
+
+func runOnce(t *testing.T, w Workload, l lockapi.Locker, size int) uint64 {
+	t.Helper()
+	ctx := jcl.NewContext(l, object.NewHeap())
+	reg := threading.NewRegistry()
+	th, err := reg.Attach("w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w.Run(ctx, th, size)
+}
+
+func TestAllWorkloadsAreWellFormed(t *testing.T) {
+	suite := All()
+	if len(suite) != 11 {
+		t.Fatalf("suite has %d workloads, want 11", len(suite))
+	}
+	seen := make(map[string]bool)
+	for _, w := range suite {
+		if w.Name == "" || w.Source == "" || w.Description == "" {
+			t.Errorf("workload %+v missing metadata", w.Name)
+		}
+		if w.DefaultSize < 1 {
+			t.Errorf("%s: DefaultSize = %d", w.Name, w.DefaultSize)
+		}
+		if w.Run == nil {
+			t.Errorf("%s: nil Run", w.Name)
+		}
+		if seen[w.Name] {
+			t.Errorf("duplicate workload %s", w.Name)
+		}
+		seen[w.Name] = true
+	}
+}
+
+func TestByName(t *testing.T) {
+	if w, ok := ByName("jax"); !ok || w.Name != "jax" {
+		t.Error("ByName(jax) failed")
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Error("ByName found phantom workload")
+	}
+}
+
+func TestWorkloadsAreDeterministic(t *testing.T) {
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			a := runOnce(t, w, core.NewDefault(), 2)
+			b := runOnce(t, w, core.NewDefault(), 2)
+			if a != b {
+				t.Fatalf("two runs returned %#x and %#x", a, b)
+			}
+			if a == 0 {
+				t.Error("checksum is zero; workload may be degenerate")
+			}
+		})
+	}
+}
+
+func TestWorkloadsAgreeAcrossImplementations(t *testing.T) {
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			thin := runOnce(t, w, core.NewDefault(), 2)
+			jdk := runOnce(t, w, monitorcache.NewDefault(), 2)
+			ibm := runOnce(t, w, hotlocks.NewDefault(), 2)
+			if thin != jdk || jdk != ibm {
+				t.Fatalf("checksums diverge: thin=%#x jdk=%#x ibm=%#x", thin, jdk, ibm)
+			}
+		})
+	}
+}
+
+func TestWorkloadsScaleWithSize(t *testing.T) {
+	// Larger size must mean more lock traffic (sanity for the sweep
+	// parameter). Use thin-lock op-free determinism: compare via a
+	// counting locker.
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			small := countOps(t, w, 1)
+			large := countOps(t, w, 3)
+			if large <= small {
+				t.Fatalf("ops did not grow with size: %d -> %d", small, large)
+			}
+		})
+	}
+}
+
+// countingLocker counts Lock calls.
+type countingLocker struct {
+	lockapi.Locker
+	ops uint64
+}
+
+func (c *countingLocker) Lock(t *threading.Thread, o *object.Object) {
+	c.ops++
+	c.Locker.Lock(t, o)
+}
+
+func countOps(t *testing.T, w Workload, size int) uint64 {
+	t.Helper()
+	cl := &countingLocker{Locker: core.NewDefault()}
+	ctx := jcl.NewContext(cl, object.NewHeap())
+	reg := threading.NewRegistry()
+	th, err := reg.Attach("w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Run(ctx, th, size)
+	return cl.ops
+}
+
+func TestWorkloadsLeaveNoLocksHeld(t *testing.T) {
+	// After a run under thin locks, no object may remain locked: every
+	// library call must have balanced lock/unlock.
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			l := core.NewDefault()
+			heap := object.NewHeap()
+			ctx := jcl.NewContext(l, heap)
+			reg := threading.NewRegistry()
+			th, err := reg.Attach("w")
+			if err != nil {
+				t.Fatal(err)
+			}
+			w.Run(ctx, th, 1)
+			if s := l.Stats(); s.Inflations() != 0 {
+				t.Errorf("single-threaded workload inflated %d locks", s.Inflations())
+			}
+		})
+	}
+}
+
+func TestSourceText(t *testing.T) {
+	src := sourceText(50)
+	if !strings.HasPrefix(src, "class Synthetic {") {
+		t.Error("sourceText prefix")
+	}
+	if !strings.Contains(src, ";") || !strings.Contains(src, "if (") {
+		t.Error("sourceText lacks statements")
+	}
+	if sourceText(50) != src {
+		t.Error("sourceText not deterministic")
+	}
+	if len(sourceText(100)) <= len(src) {
+		t.Error("sourceText does not scale")
+	}
+}
+
+func TestTokenizeShape(t *testing.T) {
+	l := core.NewDefault()
+	ctx := jcl.NewContext(l, object.NewHeap())
+	reg := threading.NewRegistry()
+	th, _ := reg.Attach("t")
+	tokens := tokenize(ctx, th, "int x1 = y + 3;")
+	var got []string
+	for i := 0; i < tokens.Size(th); i++ {
+		got = append(got, tokens.ElementAt(th, i).(string))
+	}
+	want := []string{"int", "x1", "=", "y", "+", "3", ";"}
+	if len(got) != len(want) {
+		t.Fatalf("tokens = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestHashString(t *testing.T) {
+	if hashString("") != 0 {
+		t.Error("empty hash")
+	}
+	// Matches java.lang.String.hashCode folding: "Ab" = 'A'*31 + 'b'.
+	if hashString("Ab") != 'A'*31+'b' {
+		t.Errorf("hashString(Ab) = %d", hashString("Ab"))
+	}
+}
+
+func TestMix(t *testing.T) {
+	if mix(1, 2) == mix(2, 1) {
+		t.Error("mix is order-insensitive; too weak for checksums")
+	}
+	if mix(0, 0) == 0 {
+		t.Error("mix(0,0) must not be zero-preserving in chains")
+	}
+}
+
+func TestJaxTouchesManyBits(t *testing.T) {
+	// The jax model must actually converge and produce nonzero sets.
+	sum := runOnce(t, mustByName(t, "jax"), core.NewDefault(), 1)
+	if sum == 0 {
+		t.Error("jax checksum zero")
+	}
+}
+
+func mustByName(t *testing.T, name string) Workload {
+	t.Helper()
+	w, ok := ByName(name)
+	if !ok {
+		t.Fatalf("workload %s missing", name)
+	}
+	return w
+}
