@@ -1,0 +1,32 @@
+GO ?= go
+FUZZTIME ?= 10s
+
+.PHONY: all build test vet race check explore fuzz-smoke
+
+all: vet build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# race runs the full suite under the race detector; -short trims the
+# slowest stress rounds so the job stays CI-sized.
+race:
+	$(GO) test -race -short ./internal/... .
+
+# check runs the concurrent differential checker CLI over every lock
+# implementation, and the exhaustive small-scope explorer.
+check: build
+	$(GO) run ./cmd/lockcheck -rounds 10
+	$(GO) run ./cmd/lockcheck -explore
+
+# fuzz-smoke gives each fuzzer a short budget on top of its seed
+# corpus (testdata/fuzz); any new crasher is written back to testdata.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzCompile -fuzztime $(FUZZTIME) ./internal/minijava
+	$(GO) test -run '^$$' -fuzz FuzzVerify -fuzztime $(FUZZTIME) ./internal/vm

@@ -7,6 +7,7 @@ import (
 )
 
 func TestCPUString(t *testing.T) {
+	t.Parallel()
 	tests := []struct {
 		cpu  CPU
 		want string
@@ -24,6 +25,7 @@ func TestCPUString(t *testing.T) {
 }
 
 func TestCASSuccess(t *testing.T) {
+	t.Parallel()
 	for _, cpu := range []CPU{PowerPCUP, PowerPCMP, POWER} {
 		var w uint32 = 7
 		if !CAS(cpu, &w, 7, 42) {
@@ -36,6 +38,7 @@ func TestCASSuccess(t *testing.T) {
 }
 
 func TestCASFailure(t *testing.T) {
+	t.Parallel()
 	for _, cpu := range []CPU{PowerPCUP, PowerPCMP, POWER} {
 		var w uint32 = 9
 		if CAS(cpu, &w, 7, 42) {
@@ -50,6 +53,7 @@ func TestCASFailure(t *testing.T) {
 // TestCASAtomicity hammers one word from many goroutines; every increment
 // must be preserved under each CPU model.
 func TestCASAtomicity(t *testing.T) {
+	t.Parallel()
 	const (
 		goroutines = 8
 		increments = 2000
@@ -79,6 +83,7 @@ func TestCASAtomicity(t *testing.T) {
 }
 
 func TestBackoffProgression(t *testing.T) {
+	t.Parallel()
 	var b Backoff
 	if b.Rounds() != 0 {
 		t.Fatalf("fresh Backoff rounds = %d, want 0", b.Rounds())
@@ -96,6 +101,7 @@ func TestBackoffProgression(t *testing.T) {
 }
 
 func TestBackoffRoundsSaturate(t *testing.T) {
+	t.Parallel()
 	b := Backoff{round: 63}
 	// Must not overflow the shift; Pause at the cap keeps round at 63.
 	b.Pause()
@@ -105,6 +111,7 @@ func TestBackoffRoundsSaturate(t *testing.T) {
 }
 
 func TestFencesAreCallable(t *testing.T) {
+	t.Parallel()
 	// The fences only charge cost; verify they are safe to call
 	// concurrently.
 	var wg sync.WaitGroup

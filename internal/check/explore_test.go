@@ -1,0 +1,144 @@
+package check
+
+import (
+	"testing"
+
+	"thinlock/internal/core"
+)
+
+// modelVariants is every implementation variant with a transition table
+// (all of core's variants except VariantNOP, which removes locking).
+var modelVariants = []core.Variant{
+	core.VariantStandard,
+	core.VariantInline,
+	core.VariantFnCall,
+	core.VariantMPSync,
+	core.VariantKernelCAS,
+	core.VariantUnlockCAS,
+}
+
+// TestExploreAllVariantsConform is the acceptance run: for every variant
+// with a transition table, exhaustively explore all interleavings of all
+// 2-thread programs of up to 3 lock/unlock ops on one object, and assert
+// the lock-word spec at every reachable state. The coverage assertion
+// proves the exploration actually drove the whole protocol — a model
+// that silently never inflates would pass vacuously otherwise.
+func TestExploreAllVariantsConform(t *testing.T) {
+	// With one object the op alphabet is {lock(0), unlock(0)}, so there
+	// are 2+4+8 = 14 sequences of length 1..3 and C(14+1,2) = 105
+	// unordered program pairs.
+	const wantPrograms = 105
+	mustCover := []string{
+		"load", "cas-acquire", "cas-fail", "spin-reload",
+		"cas-acquire-contended", "inflate-contention",
+		"nested-store", "nested-unlock", "final-store", "unlock-err",
+		"fat-enter", "fat-reenter", "fat-exit", "fat-release",
+	}
+	for _, v := range modelVariants {
+		v := v
+		t.Run(v.String(), func(t *testing.T) {
+			t.Parallel()
+			stats, err := ExploreAll(2, 3, 1, ModelConfig{Variant: v})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if stats.Programs != wantPrograms {
+				t.Errorf("explored %d programs, want %d", stats.Programs, wantPrograms)
+			}
+			if stats.States == 0 || stats.Transitions < stats.States {
+				t.Errorf("implausible exploration: %d states, %d transitions",
+					stats.States, stats.Transitions)
+			}
+			for _, k := range mustCover {
+				if stats.Coverage[k] == 0 {
+					t.Errorf("transition %q never exercised", k)
+				}
+			}
+			t.Logf("%s: %d programs, %d states, %d transitions, %d terminals",
+				v, stats.Programs, stats.States, stats.Transitions, stats.Terminals)
+		})
+	}
+}
+
+// TestExploreOverflowInflation narrows the count field to one bit so the
+// 257-locks overflow path (§2.3.3) is reachable within three ops, and
+// checks it for the standard variant and for UnlkC&S (whose unlock CAS
+// must also survive the post-overflow states).
+func TestExploreOverflowInflation(t *testing.T) {
+	t.Parallel()
+	for _, v := range []core.Variant{core.VariantStandard, core.VariantUnlockCAS} {
+		stats, err := ExploreAll(2, 3, 1, ModelConfig{Variant: v, CountBits: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Coverage["inflate-overflow"] == 0 {
+			t.Errorf("%s: overflow inflation never exercised with a 1-bit count", v)
+		}
+	}
+}
+
+// TestExploreThreeThreads runs the widest configuration: all unordered
+// triples of 1..2-op sequences, so three-way CAS races and fat-monitor
+// queueing with two blocked entrants are enumerated.
+func TestExploreThreeThreads(t *testing.T) {
+	t.Parallel()
+	// 6 sequences of length 1..2 over one object; C(6+2,3) = 56
+	// unordered triples.
+	stats, err := ExploreAll(3, 2, 1, ModelConfig{Variant: core.VariantStandard})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Programs != 56 {
+		t.Errorf("explored %d programs, want 56", stats.Programs)
+	}
+	if stats.Coverage["cas-fail"] == 0 || stats.Coverage["fat-enter"] == 0 {
+		t.Errorf("three-thread races under-explored: coverage %v", stats.Coverage)
+	}
+}
+
+// TestExploreTwoObjects checks cross-object independence, including
+// programs that deadlock by acquiring the two objects in opposite
+// orders: a deadlock is a reachable terminal state of a buggy *program*,
+// not a spec violation of the *lock words*, and must be traversed
+// without tripping the checker.
+func TestExploreTwoObjects(t *testing.T) {
+	t.Parallel()
+	// 20 sequences of length 1..2 over two objects; C(20+1,2) = 210
+	// unordered pairs, including {[L0 L1], [L1 L0]}.
+	stats, err := ExploreAll(2, 2, 2, ModelConfig{Variant: core.VariantStandard})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Programs != 210 {
+		t.Errorf("explored %d programs, want 210", stats.Programs)
+	}
+	if stats.Terminals == 0 {
+		t.Error("no terminal states reached")
+	}
+}
+
+// TestExploreCatchesSeededModelMutation proves the explorer has teeth:
+// planting the overflow off-by-one into the model's transition table
+// must produce a spec violation (monitor count disagreeing with the
+// spec depth at the moment of overflow inflation).
+func TestExploreCatchesSeededModelMutation(t *testing.T) {
+	t.Parallel()
+	_, err := ExploreAll(1, 3, 1, ModelConfig{
+		Variant:          core.VariantStandard,
+		CountBits:        1,
+		OverflowOffByOne: true,
+	})
+	if err == nil {
+		t.Fatal("explorer accepted a transition table with the overflow off-by-one seeded")
+	}
+	t.Logf("explorer caught the seeded model mutation:\n%v", err)
+}
+
+// TestExploreRejectsNOP: the no-op variant removes locking entirely and
+// has no transition table to conform to.
+func TestExploreRejectsNOP(t *testing.T) {
+	t.Parallel()
+	if _, err := ExploreAll(2, 2, 1, ModelConfig{Variant: core.VariantNOP}); err == nil {
+		t.Fatal("VariantNOP accepted")
+	}
+}

@@ -1,0 +1,60 @@
+package check
+
+import (
+	"fmt"
+
+	"thinlock/internal/locktrace"
+)
+
+// checkHistory validates per-object event-history invariants on a
+// recorded trace. Events of one thread appear in program order (each
+// thread records its own operations sequentially), so per-(thread,
+// object) nesting balance is well defined even though events of
+// different threads interleave arbitrarily in the global sequence:
+//
+//   - a thread's successful releases never outnumber its successful
+//     acquires on any object at any prefix of its history (depth never
+//     goes negative);
+//   - after the run (which unwinds all held locks) every thread's
+//     depth on every object is back to zero;
+//   - a successful wait must happen at positive depth: the thread must
+//     have an acquire in its past that is not yet matched by a release.
+func checkHistory(events []locktrace.Event) []Failure {
+	var fs []Failure
+	type key struct {
+		thread uint16
+		obj    uint64
+	}
+	depth := make(map[key]int)
+	for _, e := range events {
+		if e.Failed {
+			continue
+		}
+		k := key{e.Thread, e.Object}
+		switch e.Kind {
+		case locktrace.EvAcquire:
+			depth[k]++
+		case locktrace.EvRelease:
+			depth[k]--
+			if depth[k] < 0 {
+				fs = append(fs, Failure{FailHistory,
+					fmt.Sprintf("history: t%d released %s#%d more often than acquired (event #%d)",
+						e.Thread, e.Class, e.Object, e.Seq)})
+				depth[k] = 0
+			}
+		case locktrace.EvWait:
+			if depth[k] <= 0 {
+				fs = append(fs, Failure{FailHistory,
+					fmt.Sprintf("history: t%d completed wait on %s#%d at depth 0 (event #%d)",
+						e.Thread, e.Class, e.Object, e.Seq)})
+			}
+		}
+	}
+	for k, d := range depth {
+		if d != 0 {
+			fs = append(fs, Failure{FailHistory,
+				fmt.Sprintf("history: t%d ended with depth %d on obj#%d", k.thread, d, k.obj)})
+		}
+	}
+	return fs
+}

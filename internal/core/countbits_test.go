@@ -8,6 +8,7 @@ import (
 // TestCountBitsAblation exercises the §3.2 ablation: with a k-bit count
 // field, 2^k nested locks stay thin and the (2^k+1)-th inflates.
 func TestCountBitsAblation(t *testing.T) {
+	t.Parallel()
 	for _, bits := range []int{1, 2, 3, 8} {
 		bits := bits
 		t.Run(fmt.Sprintf("bits=%d", bits), func(t *testing.T) {
@@ -48,6 +49,7 @@ func TestCountBitsAblation(t *testing.T) {
 // TestCountBitsDefault confirms 0 and out-of-range values select the
 // paper's 8-bit field.
 func TestCountBitsDefault(t *testing.T) {
+	t.Parallel()
 	for _, bits := range []int{0, -1, 9, 100} {
 		l := New(Options{CountBits: bits})
 		if l.maxCount != 255 {
@@ -60,6 +62,7 @@ func TestCountBitsDefault(t *testing.T) {
 // that 2 bits suffice for real programs: a workload nesting at most 3
 // deep must never trigger an overflow inflation even with CountBits=2.
 func TestCountBitsNeverOverflowsOnShallowWorkload(t *testing.T) {
+	t.Parallel()
 	f := newFixture(t, Options{CountBits: 2})
 	th := f.thread(t)
 	for i := 0; i < 200; i++ {

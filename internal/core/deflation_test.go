@@ -7,6 +7,7 @@ import (
 )
 
 func TestDeflationRestoresThinLock(t *testing.T) {
+	t.Parallel()
 	f := newFixture(t, Options{EnableDeflation: true})
 	a, b := f.thread(t), f.thread(t)
 	o := f.heap.New("X")
@@ -36,6 +37,7 @@ func TestDeflationRestoresThinLock(t *testing.T) {
 }
 
 func TestDeflationSkippedWhileNested(t *testing.T) {
+	t.Parallel()
 	f := newFixture(t, Options{EnableDeflation: true})
 	a, b := f.thread(t), f.thread(t)
 	o := f.heap.New("X")
@@ -69,6 +71,7 @@ func TestDeflationSkippedWhileNested(t *testing.T) {
 }
 
 func TestDeflationWithWaitersIsSkipped(t *testing.T) {
+	t.Parallel()
 	f := newFixture(t, Options{EnableDeflation: true})
 	a, b := f.thread(t), f.thread(t)
 	o := f.heap.New("X")
@@ -114,6 +117,7 @@ func TestDeflationWithWaitersIsSkipped(t *testing.T) {
 // TestDeflationStress hammers one object with contention so it cycles
 // between thin and fat; mutual exclusion must hold throughout.
 func TestDeflationStress(t *testing.T) {
+	t.Parallel()
 	f := newFixture(t, Options{EnableDeflation: true})
 	o := f.heap.New("X")
 	const goroutines, iters = 6, 500
@@ -146,6 +150,7 @@ func TestDeflationStress(t *testing.T) {
 // TestNoDeflationByDefault locks in the paper's discipline: once fat,
 // forever fat.
 func TestNoDeflationByDefault(t *testing.T) {
+	t.Parallel()
 	f := newFixture(t, Options{})
 	a, b := f.thread(t), f.thread(t)
 	o := f.heap.New("X")

@@ -6,6 +6,7 @@ import (
 )
 
 func TestThinWordRoundTrip(t *testing.T) {
+	t.Parallel()
 	prop := func(owner uint16, count uint8, misc uint8) bool {
 		owner &= 0x7FFF
 		w := ThinWord(owner, uint32(count), uint32(misc))
@@ -20,6 +21,7 @@ func TestThinWordRoundTrip(t *testing.T) {
 }
 
 func TestInflatedWordRoundTrip(t *testing.T) {
+	t.Parallel()
 	prop := func(idx uint32, misc uint8) bool {
 		idx &= 0x7FFFFF
 		w := InflatedWord(idx, uint32(misc))
@@ -33,6 +35,7 @@ func TestInflatedWordRoundTrip(t *testing.T) {
 }
 
 func TestIsUnlocked(t *testing.T) {
+	t.Parallel()
 	if !IsUnlocked(0) {
 		t.Error("0 should be unlocked")
 	}
@@ -50,6 +53,7 @@ func TestIsUnlocked(t *testing.T) {
 // TestFigure1Encodings checks the concrete lock words of Figure 1 of the
 // paper: (c) unlocked, (d) locked once by thread A, (e) locked twice.
 func TestFigure1Encodings(t *testing.T) {
+	t.Parallel()
 	const misc = uint32(0x2A)
 	const threadA = uint16(5)
 
@@ -81,6 +85,7 @@ func TestFigure1Encodings(t *testing.T) {
 // XOR the lock word with the pre-shifted thread index; any result below
 // 255<<8 means thin + owned-by-us + count<255, for every misc value.
 func TestNestedCheckXORTrick(t *testing.T) {
+	t.Parallel()
 	prop := func(owner uint16, count uint8, misc uint8, otherOwner uint16) bool {
 		owner = owner&0x7FFF | 1 // nonzero
 		otherOwner &= 0x7FFF
@@ -113,6 +118,7 @@ func TestNestedCheckXORTrick(t *testing.T) {
 
 // TestLockFieldIs24Bits verifies no encoding touches the misc byte.
 func TestLockFieldIs24Bits(t *testing.T) {
+	t.Parallel()
 	if ShapeBit|TIDMask|CountMask != 0xFFFFFF00 {
 		t.Errorf("thin fields cover %#x, want high 24 bits", ShapeBit|TIDMask|CountMask)
 	}
@@ -125,6 +131,7 @@ func TestLockFieldIs24Bits(t *testing.T) {
 }
 
 func TestVariantStrings(t *testing.T) {
+	t.Parallel()
 	want := map[Variant]string{
 		VariantStandard:  "ThinLock",
 		VariantInline:    "Inline",

@@ -12,6 +12,7 @@ import (
 // path (CAS + isync / sync + store) through a full contention episode:
 // spin, acquire, inflate, fat handoff.
 func TestMPVariantContentionAndInflation(t *testing.T) {
+	t.Parallel()
 	f := newFixture(t, Options{Variant: VariantMPSync})
 	a, b := f.thread(t), f.thread(t)
 	o := f.heap.New("X")
@@ -42,6 +43,7 @@ func TestMPVariantContentionAndInflation(t *testing.T) {
 // TestKernelCASContention drives contention through the simulated POWER
 // kernel compare-and-swap service.
 func TestKernelCASContention(t *testing.T) {
+	t.Parallel()
 	f := newFixture(t, Options{Variant: VariantKernelCAS})
 	o := f.heap.New("X")
 	const goroutines, iters = 4, 200
@@ -72,6 +74,7 @@ func TestKernelCASContention(t *testing.T) {
 // field — and hammers one object; correctness must be preserved by the
 // composition, not just each feature alone.
 func TestStandardMPQueuedDeflationComposition(t *testing.T) {
+	t.Parallel()
 	f := newFixture(t, Options{
 		CPU:             arch.PowerPCMP,
 		QueuedInflation: true,

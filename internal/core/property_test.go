@@ -12,6 +12,7 @@ import (
 // balanced lock/unlock leaves every object unlocked with its misc bits
 // intact, inflating exactly when some depth exceeds 256.
 func TestPropertyBalancedNesting(t *testing.T) {
+	t.Parallel()
 	prop := func(depths []uint16) bool {
 		l := New(Options{})
 		heap := object.NewHeap()
@@ -57,6 +58,7 @@ func TestPropertyBalancedNesting(t *testing.T) {
 // model of expected depths; the implementation must agree with the model
 // at every step.
 func TestPropertyInterleavedObjects(t *testing.T) {
+	t.Parallel()
 	prop := func(ops []uint8) bool {
 		const numObjects = 4
 		l := New(Options{})
@@ -121,6 +123,7 @@ func TestPropertyInterleavedObjects(t *testing.T) {
 // only ever changed between observations made by T itself — i.e. a
 // non-owner performing failed unlocks never perturbs it.
 func TestPropertyDiscipline(t *testing.T) {
+	t.Parallel()
 	prop := func(attempts uint8) bool {
 		l := New(Options{})
 		heap := object.NewHeap()

@@ -144,3 +144,14 @@ func (l *ThinLocks) maybeWakeQueued(o *object.Object) {
 		l.wakeQueued(o)
 	}
 }
+
+// wakeAfterUnlock is maybeWakeQueued behind the DropQueuedWake seeded
+// mutation (see mutation.go). Inflation's wakeup is deliberately not
+// routed through here: the mutation models a bug in the unlock path
+// only.
+func (l *ThinLocks) wakeAfterUnlock(o *object.Object) {
+	if l.mut.DropQueuedWake {
+		return
+	}
+	l.maybeWakeQueued(o)
+}

@@ -9,6 +9,7 @@ import (
 )
 
 func TestQueuedContentionParksAndInflates(t *testing.T) {
+	t.Parallel()
 	f := newFixture(t, Options{QueuedInflation: true})
 	a, b := f.thread(t), f.thread(t)
 	o := f.heap.New("X")
@@ -58,6 +59,7 @@ func TestQueuedContentionParksAndInflates(t *testing.T) {
 }
 
 func TestQueuedMutualExclusionStress(t *testing.T) {
+	t.Parallel()
 	f := newFixture(t, Options{QueuedInflation: true})
 	o := f.heap.New("X")
 	const goroutines, iters = 8, 400
@@ -84,6 +86,7 @@ func TestQueuedMutualExclusionStress(t *testing.T) {
 }
 
 func TestQueuedManyObjectsStress(t *testing.T) {
+	t.Parallel()
 	// Contention across several objects exercises queue creation and
 	// cleanup concurrently.
 	f := newFixture(t, Options{QueuedInflation: true})
@@ -120,6 +123,7 @@ func TestQueuedManyObjectsStress(t *testing.T) {
 }
 
 func TestQueuedOverflowInflationWakesParkedContender(t *testing.T) {
+	t.Parallel()
 	// A parks on B's thin lock; B inflates via count overflow rather
 	// than unlocking. A must still be woken (by the inflate hook) and
 	// enter the fat lock.
@@ -164,6 +168,7 @@ func TestQueuedOverflowInflationWakesParkedContender(t *testing.T) {
 }
 
 func TestQueuedFlagClearedAfterWake(t *testing.T) {
+	t.Parallel()
 	f := newFixture(t, Options{QueuedInflation: true})
 	a, b := f.thread(t), f.thread(t)
 	o := f.heap.New("X")
@@ -190,6 +195,7 @@ func TestQueuedFlagClearedAfterWake(t *testing.T) {
 }
 
 func TestQueuedNoOverheadWithoutContention(t *testing.T) {
+	t.Parallel()
 	f := newFixture(t, Options{QueuedInflation: true})
 	th := f.thread(t)
 	o := f.heap.New("X")
@@ -209,6 +215,7 @@ func TestQueuedNoOverheadWithoutContention(t *testing.T) {
 }
 
 func TestQueuedWithDeflationCycles(t *testing.T) {
+	t.Parallel()
 	// Queued inflation + eager deflation: locks cycle thin→fat→thin
 	// under contention; mutual exclusion and wakeups must survive.
 	f := newFixture(t, Options{QueuedInflation: true, EnableDeflation: true})
@@ -237,6 +244,7 @@ func TestQueuedWithDeflationCycles(t *testing.T) {
 }
 
 func TestFLCTableDropKeepsNonEmptyQueues(t *testing.T) {
+	t.Parallel()
 	ft := newFLCTable()
 	q := ft.get(7)
 	q.waiters = append(q.waiters, make(chan struct{}))

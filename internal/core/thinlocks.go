@@ -95,6 +95,9 @@ type Options struct {
 	// always occupies the same 8 bit positions; narrowing only lowers
 	// the overflow threshold.
 	CountBits int
+	// TestMutations plants deliberate protocol bugs so the differential
+	// checker can prove it detects them. Test-only; see mutation.go.
+	TestMutations Mutations
 }
 
 // Stats is a snapshot of a ThinLocks instance's internal counters.
@@ -140,6 +143,7 @@ type ThinLocks struct {
 	deflation bool
 	queued    bool
 	flc       *flcTable
+	mut       Mutations
 	// nestedLimit is the XOR-check bound: maxCount << CountShift.
 	nestedLimit uint32
 	// maxCount is the largest encodable count, (1 << CountBits) - 1.
@@ -168,6 +172,7 @@ func New(opts Options) *ThinLocks {
 		cpu:         opts.CPU,
 		deflation:   opts.EnableDeflation,
 		queued:      opts.QueuedInflation,
+		mut:         opts.TestMutations,
 		nestedLimit: maxCount << CountShift,
 		maxCount:    maxCount,
 	}
@@ -300,7 +305,11 @@ func (l *ThinLocks) lockSlow(t *threading.Thread, o *object.Object, cpu arch.CPU
 			// carrying the full nesting depth into the fat lock.
 			// With the paper's 8-bit field this is the 257th lock.
 			l.inflOverflow.Add(1)
-			l.inflate(t, o, l.maxCount+2)
+			locks := l.maxCount + 2
+			if l.mut.OverflowOffByOne {
+				locks-- // seeded bug: one recursion level lost
+			}
+			l.inflate(t, o, locks)
 			return
 
 		case w&TIDMask == 0:
@@ -407,7 +416,7 @@ func (l *ThinLocks) unlockStore(t *threading.Thread, o *object.Object, fence boo
 		}
 		atomic.StoreUint32(hp, w^t.Shifted())
 		if l.queued {
-			l.maybeWakeQueued(o)
+			l.wakeAfterUnlock(o)
 		}
 		return nil
 	}
@@ -426,7 +435,7 @@ func (l *ThinLocks) unlockCAS(t *threading.Thread, o *object.Object) error {
 			panic("core: unlock CAS failed while owning the lock")
 		}
 		if l.queued {
-			l.maybeWakeQueued(o)
+			l.wakeAfterUnlock(o)
 		}
 		return nil
 	}
@@ -464,7 +473,7 @@ func (l *ThinLocks) unlockSlow(t *threading.Thread, o *object.Object, fence, use
 			atomic.StoreUint32(hp, nw)
 		}
 		if l.queued && x < CountUnit {
-			l.maybeWakeQueued(o)
+			l.wakeAfterUnlock(o)
 		}
 		return nil
 	}

@@ -8,6 +8,7 @@ import (
 
 	"thinlock/internal/arch"
 	"thinlock/internal/object"
+	"thinlock/internal/testutil"
 	"thinlock/internal/threading"
 )
 
@@ -32,6 +33,7 @@ func (f *fixture) thread(t *testing.T) *threading.Thread {
 }
 
 func TestLockUnlockedObject(t *testing.T) {
+	t.Parallel()
 	f := newFixture(t, Options{})
 	th := f.thread(t)
 	o := f.heap.New("X")
@@ -61,6 +63,7 @@ func TestLockUnlockedObject(t *testing.T) {
 }
 
 func TestNestedLocking(t *testing.T) {
+	t.Parallel()
 	f := newFixture(t, Options{})
 	th := f.thread(t)
 	o := f.heap.New("X")
@@ -93,6 +96,7 @@ func TestNestedLocking(t *testing.T) {
 // TestCountOverflowInflates drives nesting past 256: the 257th lock must
 // inflate, carrying the full count into the fat lock.
 func TestCountOverflowInflates(t *testing.T) {
+	t.Parallel()
 	f := newFixture(t, Options{})
 	th := f.thread(t)
 	o := f.heap.New("X")
@@ -136,6 +140,7 @@ func TestCountOverflowInflates(t *testing.T) {
 }
 
 func TestUnlockWithoutOwnership(t *testing.T) {
+	t.Parallel()
 	f := newFixture(t, Options{})
 	a, b := f.thread(t), f.thread(t)
 	o := f.heap.New("X")
@@ -157,6 +162,7 @@ func TestUnlockWithoutOwnership(t *testing.T) {
 }
 
 func TestContentionInflates(t *testing.T) {
+	t.Parallel()
 	f := newFixture(t, Options{})
 	a, b := f.thread(t), f.thread(t)
 	o := f.heap.New("X")
@@ -206,6 +212,7 @@ func TestContentionInflates(t *testing.T) {
 }
 
 func TestInflatedLockStaysInflatedAndWorks(t *testing.T) {
+	t.Parallel()
 	f := newFixture(t, Options{})
 	a, b := f.thread(t), f.thread(t)
 	o := f.heap.New("X")
@@ -257,6 +264,7 @@ func inflateByContention(t *testing.T, f *fixture, a, b *threading.Thread, o *ob
 }
 
 func TestMutualExclusionAllVariants(t *testing.T) {
+	t.Parallel()
 	variants := []Variant{
 		VariantStandard, VariantInline, VariantFnCall,
 		VariantMPSync, VariantKernelCAS, VariantUnlockCAS,
@@ -298,6 +306,7 @@ func TestMutualExclusionAllVariants(t *testing.T) {
 }
 
 func TestMutualExclusionWithCPUModels(t *testing.T) {
+	t.Parallel()
 	for _, cpu := range []arch.CPU{arch.PowerPCUP, arch.PowerPCMP, arch.POWER} {
 		cpu := cpu
 		t.Run(cpu.String(), func(t *testing.T) {
@@ -330,6 +339,7 @@ func TestMutualExclusionWithCPUModels(t *testing.T) {
 }
 
 func TestWaitInflatesThinLock(t *testing.T) {
+	t.Parallel()
 	f := newFixture(t, Options{})
 	a, b := f.thread(t), f.thread(t)
 	o := f.heap.New("X")
@@ -381,6 +391,7 @@ func TestWaitInflatesThinLock(t *testing.T) {
 }
 
 func TestWaitTimeoutViaAPI(t *testing.T) {
+	t.Parallel()
 	f := newFixture(t, Options{})
 	th := f.thread(t)
 	o := f.heap.New("X")
@@ -398,6 +409,7 @@ func TestWaitTimeoutViaAPI(t *testing.T) {
 }
 
 func TestWaitNotifyErrorsWithoutOwnership(t *testing.T) {
+	t.Parallel()
 	f := newFixture(t, Options{})
 	a, b := f.thread(t), f.thread(t)
 	o := f.heap.New("X")
@@ -435,6 +447,7 @@ func TestWaitNotifyErrorsWithoutOwnership(t *testing.T) {
 }
 
 func TestHolderIndex(t *testing.T) {
+	t.Parallel()
 	f := newFixture(t, Options{})
 	a, b := f.thread(t), f.thread(t)
 	o := f.heap.New("X")
@@ -479,6 +492,7 @@ func inflateByContentionFromHeld(t *testing.T, f *fixture, a, b *threading.Threa
 }
 
 func TestPerInstanceIsolation(t *testing.T) {
+	t.Parallel()
 	// Two ThinLocks instances must not share monitor tables.
 	f := newFixture(t, Options{})
 	l2 := New(Options{})
@@ -512,6 +526,7 @@ func TestPerInstanceIsolation(t *testing.T) {
 }
 
 func TestNewDefaultAndInflatedAccessor(t *testing.T) {
+	t.Parallel()
 	l := NewDefault()
 	if l.Variant() != VariantStandard {
 		t.Error("NewDefault variant")
@@ -524,6 +539,7 @@ func TestNewDefaultAndInflatedAccessor(t *testing.T) {
 }
 
 func TestNames(t *testing.T) {
+	t.Parallel()
 	if got := New(Options{}).Name(); got != "ThinLock" {
 		t.Errorf("standard Name = %q", got)
 	}
@@ -536,6 +552,7 @@ func TestNames(t *testing.T) {
 }
 
 func TestNOPVariantDoesNothing(t *testing.T) {
+	t.Parallel()
 	f := newFixture(t, Options{Variant: VariantNOP})
 	th := f.thread(t)
 	o := f.heap.New("X")
@@ -549,19 +566,16 @@ func TestNOPVariantDoesNothing(t *testing.T) {
 }
 
 func TestStatsSnapshot(t *testing.T) {
+	t.Parallel()
 	s := Stats{InflationsContention: 1, InflationsOverflow: 2, InflationsWait: 3}
 	if s.Inflations() != 6 {
 		t.Errorf("Inflations() = %d, want 6", s.Inflations())
 	}
 }
 
+// waitForStat blocks until a stats condition raced by another goroutine
+// holds, via the shared bounded-backoff helper.
 func waitForStat(t *testing.T, cond func() bool) {
 	t.Helper()
-	deadline := time.Now().Add(5 * time.Second)
-	for !cond() {
-		if time.Now().After(deadline) {
-			t.Fatal("condition never became true")
-		}
-		time.Sleep(time.Millisecond)
-	}
+	testutil.Eventually(t, 5*time.Second, "stat condition", cond)
 }

@@ -11,6 +11,7 @@ import (
 // through every variant × CPU model combination, so every specialized
 // lock/unlock code path is exercised.
 func TestVariantSemanticsMatrix(t *testing.T) {
+	t.Parallel()
 	variants := []Variant{
 		VariantStandard, VariantInline, VariantFnCall,
 		VariantMPSync, VariantKernelCAS, VariantUnlockCAS,
@@ -78,6 +79,7 @@ func TestVariantSemanticsMatrix(t *testing.T) {
 // TestNOPVariantIgnoresEverything pins the NOP contract across the full
 // method surface.
 func TestNOPVariantIgnoresEverything(t *testing.T) {
+	t.Parallel()
 	f := newFixture(t, Options{Variant: VariantNOP})
 	th := f.thread(t)
 	o := f.heap.New("X")
@@ -100,6 +102,7 @@ func TestNOPVariantIgnoresEverything(t *testing.T) {
 // correct mutual exclusion; the path itself is exercised here
 // single-threaded with a contention case in the CPU-model matrix test).
 func TestStandardVariantOnPOWERUsesKernelCAS(t *testing.T) {
+	t.Parallel()
 	f := newFixture(t, Options{CPU: arch.POWER})
 	th := f.thread(t)
 	o := f.heap.New("X")
@@ -115,6 +118,7 @@ func TestStandardVariantOnPOWERUsesKernelCAS(t *testing.T) {
 // TestWaitOnVariantLocks checks the wait/notify path under the MP and
 // kernel variants (inflation by wait plus fat unlock with fences).
 func TestWaitOnVariantLocks(t *testing.T) {
+	t.Parallel()
 	for _, v := range []Variant{VariantMPSync, VariantKernelCAS, VariantUnlockCAS} {
 		v := v
 		t.Run(v.String(), func(t *testing.T) {

@@ -29,6 +29,7 @@ func (f *fixture) thread(t *testing.T) *threading.Thread {
 }
 
 func TestColdLockUnlock(t *testing.T) {
+	t.Parallel()
 	f := newFixture(Options{})
 	th := f.thread(t)
 	o := f.heap.New("X")
@@ -46,6 +47,7 @@ func TestColdLockUnlock(t *testing.T) {
 }
 
 func TestPromotionAfterThreshold(t *testing.T) {
+	t.Parallel()
 	f := newFixture(Options{Threshold: 4})
 	th := f.thread(t)
 	o := f.heap.New("X")
@@ -83,6 +85,7 @@ func TestPromotionAfterThreshold(t *testing.T) {
 }
 
 func TestPromotionPreservesMiscBits(t *testing.T) {
+	t.Parallel()
 	f := newFixture(Options{Threshold: 1})
 	th := f.thread(t)
 	o := f.heap.New("X")
@@ -97,6 +100,7 @@ func TestPromotionPreservesMiscBits(t *testing.T) {
 }
 
 func TestOnly32SlotsGetHot(t *testing.T) {
+	t.Parallel()
 	f := newFixture(Options{Threshold: 1})
 	th := f.thread(t)
 	// Promote far more objects than there are slots.
@@ -120,6 +124,7 @@ func TestOnly32SlotsGetHot(t *testing.T) {
 }
 
 func TestNestedLockingHotAndCold(t *testing.T) {
+	t.Parallel()
 	f := newFixture(Options{Threshold: 3})
 	th := f.thread(t)
 	o := f.heap.New("X")
@@ -154,6 +159,7 @@ func TestNestedLockingHotAndCold(t *testing.T) {
 }
 
 func TestIllegalStates(t *testing.T) {
+	t.Parallel()
 	f := newFixture(Options{})
 	a, b := f.thread(t), f.thread(t)
 	o := f.heap.New("X")
@@ -179,6 +185,7 @@ func TestIllegalStates(t *testing.T) {
 }
 
 func TestMutualExclusionAcrossPromotion(t *testing.T) {
+	t.Parallel()
 	// Contend on one object while it crosses the promotion threshold;
 	// mutual exclusion must hold throughout the transition.
 	f := newFixture(Options{Threshold: 50})
@@ -210,6 +217,7 @@ func TestMutualExclusionAcrossPromotion(t *testing.T) {
 }
 
 func TestColdCacheSweep(t *testing.T) {
+	t.Parallel()
 	f := newFixture(Options{MaxCold: 8, Threshold: 1000})
 	th := f.thread(t)
 	for i := 0; i < 40; i++ {
@@ -225,6 +233,7 @@ func TestColdCacheSweep(t *testing.T) {
 }
 
 func TestWaitNotifyHot(t *testing.T) {
+	t.Parallel()
 	f := newFixture(Options{Threshold: 1})
 	a, b := f.thread(t), f.thread(t)
 	o := f.heap.New("X")
@@ -272,6 +281,7 @@ func TestWaitNotifyHot(t *testing.T) {
 }
 
 func TestWaitNotifyCold(t *testing.T) {
+	t.Parallel()
 	f := newFixture(Options{Threshold: 1000}) // never promotes
 	a, b := f.thread(t), f.thread(t)
 	o := f.heap.New("X")
@@ -311,6 +321,7 @@ func TestWaitNotifyCold(t *testing.T) {
 }
 
 func TestColdCountAndSlots(t *testing.T) {
+	t.Parallel()
 	f := newFixture(Options{Threshold: 1000}) // never promotes
 	th := f.thread(t)
 	if f.h.Slots() != DefaultSlots {
@@ -329,12 +340,14 @@ func TestColdCountAndSlots(t *testing.T) {
 }
 
 func TestName(t *testing.T) {
+	t.Parallel()
 	if NewDefault().Name() != "IBM112" {
 		t.Error("Name mismatch")
 	}
 }
 
 func TestHotWordEncoding(t *testing.T) {
+	t.Parallel()
 	w := hotWord(17, 0xA5)
 	if w&hotBit == 0 {
 		t.Error("hot bit missing")

@@ -23,6 +23,7 @@ func newCtx(t *testing.T) (*Context, *threading.Thread) {
 }
 
 func TestVectorBasics(t *testing.T) {
+	t.Parallel()
 	ctx, th := newCtx(t)
 	v := ctx.NewVector()
 	if !v.IsEmpty(th) {
@@ -53,6 +54,7 @@ func TestVectorBasics(t *testing.T) {
 }
 
 func TestVectorInsertRemove(t *testing.T) {
+	t.Parallel()
 	ctx, th := newCtx(t)
 	v := ctx.NewVector()
 	for i := 0; i < 5; i++ {
@@ -82,6 +84,7 @@ func TestVectorInsertRemove(t *testing.T) {
 }
 
 func TestVectorCopyIntoAndEnumeration(t *testing.T) {
+	t.Parallel()
 	ctx, th := newCtx(t)
 	v := ctx.NewVectorWithCapacity(8)
 	for i := 0; i < 5; i++ {
@@ -105,6 +108,7 @@ func TestVectorCopyIntoAndEnumeration(t *testing.T) {
 }
 
 func TestVectorEveryCallSynchronizes(t *testing.T) {
+	t.Parallel()
 	// The point of the paper: library calls cost lock operations even
 	// single-threaded. Verify with an instrumented locker.
 	ctx, th := newCtx(t)
@@ -125,6 +129,7 @@ func TestVectorEveryCallSynchronizes(t *testing.T) {
 }
 
 func TestStack(t *testing.T) {
+	t.Parallel()
 	ctx, th := newCtx(t)
 	s := ctx.NewStack()
 	if !s.Empty(th) {
@@ -148,6 +153,7 @@ func TestStack(t *testing.T) {
 }
 
 func TestHashtable(t *testing.T) {
+	t.Parallel()
 	ctx, th := newCtx(t)
 	h := ctx.NewHashtable()
 	if !h.IsEmpty(th) {
@@ -189,6 +195,7 @@ func TestHashtable(t *testing.T) {
 }
 
 func TestStringBuffer(t *testing.T) {
+	t.Parallel()
 	ctx, th := newCtx(t)
 	sb := ctx.NewStringBuffer()
 	sb.Append(th, "hello").AppendChar(th, ' ').Append(th, "world").AppendInt(th, 42)
@@ -216,6 +223,7 @@ func TestStringBuffer(t *testing.T) {
 }
 
 func TestBitSet(t *testing.T) {
+	t.Parallel()
 	ctx, th := newCtx(t)
 	b := ctx.NewBitSet(64)
 	if b.Get(th, 5) {
@@ -243,6 +251,7 @@ func TestBitSet(t *testing.T) {
 }
 
 func TestBitSetLogicalOps(t *testing.T) {
+	t.Parallel()
 	ctx, th := newCtx(t)
 	a := ctx.NewBitSet(64)
 	b := ctx.NewBitSet(64)
@@ -274,6 +283,7 @@ func TestBitSetLogicalOps(t *testing.T) {
 }
 
 func TestRandomDeterminism(t *testing.T) {
+	t.Parallel()
 	ctx, th := newCtx(t)
 	r1 := ctx.NewRandom(12345)
 	r2 := ctx.NewRandom(12345)
@@ -301,6 +311,7 @@ func TestRandomDeterminism(t *testing.T) {
 }
 
 func TestRandomMatchesJavaLCG(t *testing.T) {
+	t.Parallel()
 	// Known values from Java's documented LCG with seed 0.
 	ctx, th := newCtx(t)
 	r := ctx.NewRandom(0)
@@ -317,6 +328,7 @@ func TestRandomMatchesJavaLCG(t *testing.T) {
 // TestLibraryAcrossImplementations runs a mixed container workload under
 // all three lock implementations and checks identical results.
 func TestLibraryAcrossImplementations(t *testing.T) {
+	t.Parallel()
 	run := func(l lockapi.Locker) string {
 		ctx := NewContext(l, object.NewHeap())
 		reg := threading.NewRegistry()
@@ -349,6 +361,7 @@ func TestLibraryAcrossImplementations(t *testing.T) {
 // TestConcurrentVectorUse is the multithreaded sanity check: concurrent
 // appends through the synchronized API must not lose elements.
 func TestConcurrentVectorUse(t *testing.T) {
+	t.Parallel()
 	ctx := NewContext(core.NewDefault(), object.NewHeap())
 	reg := threading.NewRegistry()
 	v := ctx.NewVector()

@@ -14,6 +14,7 @@ import (
 // TestVectorMatchesSliceModel drives random operation sequences against
 // both a Vector and a plain Go slice model; every observation must agree.
 func TestVectorMatchesSliceModel(t *testing.T) {
+	t.Parallel()
 	prop := func(ops []uint16) bool {
 		ctx := NewContext(core.NewDefault(), object.NewHeap())
 		reg := threading.NewRegistry()
@@ -110,6 +111,7 @@ func TestVectorMatchesSliceModel(t *testing.T) {
 // TestHashtableConcurrentDistinctKeys has each thread own a key range;
 // all entries must survive.
 func TestHashtableConcurrentDistinctKeys(t *testing.T) {
+	t.Parallel()
 	ctx := NewContext(core.NewDefault(), object.NewHeap())
 	reg := threading.NewRegistry()
 	h := ctx.NewHashtable()
@@ -147,6 +149,7 @@ func TestHashtableConcurrentDistinctKeys(t *testing.T) {
 // TestStackConcurrentPushPop checks conservation: everything pushed is
 // popped exactly once across threads.
 func TestStackConcurrentPushPop(t *testing.T) {
+	t.Parallel()
 	ctx := NewContext(core.NewDefault(), object.NewHeap())
 	reg := threading.NewRegistry()
 	s := ctx.NewStack()
@@ -198,6 +201,7 @@ func TestStackConcurrentPushPop(t *testing.T) {
 // TestStringBufferConcurrentAppend checks no bytes are lost when many
 // threads append fixed-size chunks.
 func TestStringBufferConcurrentAppend(t *testing.T) {
+	t.Parallel()
 	ctx := NewContext(core.NewDefault(), object.NewHeap())
 	reg := threading.NewRegistry()
 	sb := ctx.NewStringBuffer()
@@ -223,6 +227,7 @@ func TestStringBufferConcurrentAppend(t *testing.T) {
 // TestBitSetConcurrentDisjointRanges sets disjoint bit ranges from
 // several threads; the union must be exact.
 func TestBitSetConcurrentDisjointRanges(t *testing.T) {
+	t.Parallel()
 	ctx := NewContext(core.NewDefault(), object.NewHeap())
 	reg := threading.NewRegistry()
 	b := ctx.NewBitSet(0)
@@ -253,6 +258,7 @@ func TestBitSetConcurrentDisjointRanges(t *testing.T) {
 // TestHashtableRehashPreservesEntries grows far past the initial
 // threshold; every entry must survive the nested Rehash calls.
 func TestHashtableRehashPreservesEntries(t *testing.T) {
+	t.Parallel()
 	ctx := NewContext(core.NewDefault(), object.NewHeap())
 	reg := threading.NewRegistry()
 	th, _ := reg.Attach("t")

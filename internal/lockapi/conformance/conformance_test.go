@@ -1,0 +1,23 @@
+package conformance_test
+
+import (
+	"testing"
+
+	"thinlock/internal/check"
+	"thinlock/internal/lockapi/conformance"
+)
+
+// TestAllImplementations runs the conformance suite against every
+// implementation in the checker's registry (thin locks and their
+// variants, both historical baselines, and the reference oracle).
+func TestAllImplementations(t *testing.T) {
+	impls := check.Implementations()
+	for _, name := range check.ImplementationNames() {
+		name := name
+		mk := impls[name]
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			conformance.Run(t, mk)
+		})
+	}
+}

@@ -34,6 +34,7 @@ func (f *fixture) thread(t *testing.T) *threading.Thread {
 }
 
 func TestCountsFirstLocks(t *testing.T) {
+	t.Parallel()
 	f := newFixture()
 	th := f.thread(t)
 	for i := 0; i < 10; i++ {
@@ -62,6 +63,7 @@ func TestCountsFirstLocks(t *testing.T) {
 }
 
 func TestCountsNestedDepths(t *testing.T) {
+	t.Parallel()
 	f := newFixture()
 	th := f.thread(t)
 	o := f.heap.New("X")
@@ -99,6 +101,7 @@ func mustUnlock(t *testing.T, f *fixture, th *threading.Thread, o *object.Object
 }
 
 func TestOverflowBucket(t *testing.T) {
+	t.Parallel()
 	f := newFixture()
 	th := f.thread(t)
 	o := f.heap.New("X")
@@ -116,6 +119,7 @@ func TestOverflowBucket(t *testing.T) {
 }
 
 func TestFailedUnlockDoesNotDecrement(t *testing.T) {
+	t.Parallel()
 	f := newFixture()
 	a, b := f.thread(t), f.thread(t)
 	o := f.heap.New("X")
@@ -132,6 +136,7 @@ func TestFailedUnlockDoesNotDecrement(t *testing.T) {
 }
 
 func TestMedianSyncsPerObject(t *testing.T) {
+	t.Parallel()
 	f := newFixture()
 	th := f.thread(t)
 	// Three objects with 1, 2 and 9 syncs: median 2.
@@ -155,6 +160,7 @@ func TestMedianSyncsPerObject(t *testing.T) {
 }
 
 func TestWaitNotifyCounted(t *testing.T) {
+	t.Parallel()
 	f := newFixture()
 	th := f.thread(t)
 	o := f.heap.New("X")
@@ -181,6 +187,7 @@ func TestWaitNotifyCounted(t *testing.T) {
 }
 
 func TestDepthSurvivesWait(t *testing.T) {
+	t.Parallel()
 	f := newFixture()
 	th := f.thread(t)
 	o := f.heap.New("X")
@@ -198,6 +205,7 @@ func TestDepthSurvivesWait(t *testing.T) {
 }
 
 func TestNameAndInner(t *testing.T) {
+	t.Parallel()
 	inner := core.NewDefault()
 	r := New(inner)
 	if r.Name() != "ThinLock+stats" {
@@ -209,6 +217,7 @@ func TestNameAndInner(t *testing.T) {
 }
 
 func TestReportString(t *testing.T) {
+	t.Parallel()
 	f := newFixture()
 	th := f.thread(t)
 	o := f.heap.New("X")
@@ -224,6 +233,7 @@ func TestReportString(t *testing.T) {
 }
 
 func TestEmptyReport(t *testing.T) {
+	t.Parallel()
 	rep := New(core.NewDefault()).Snapshot()
 	if rep.DepthShare(0) != 0 {
 		t.Error("DepthShare on empty report")

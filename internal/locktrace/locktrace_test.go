@@ -35,6 +35,7 @@ func (f *fixture) thread(t *testing.T) *threading.Thread {
 }
 
 func TestTracerRecordsEvents(t *testing.T) {
+	t.Parallel()
 	f := newFixture(0)
 	th := f.thread(t)
 	o := f.heap.New("Acct")
@@ -81,6 +82,7 @@ func TestTracerRecordsEvents(t *testing.T) {
 }
 
 func TestTracerRecordsHeldSets(t *testing.T) {
+	t.Parallel()
 	f := newFixture(0)
 	th := f.thread(t)
 	a := f.heap.New("A")
@@ -101,6 +103,7 @@ func TestTracerRecordsHeldSets(t *testing.T) {
 }
 
 func TestTracerBoundedBuffer(t *testing.T) {
+	t.Parallel()
 	f := newFixture(4)
 	th := f.thread(t)
 	o := f.heap.New("X")
@@ -122,6 +125,7 @@ func TestTracerBoundedBuffer(t *testing.T) {
 }
 
 func TestAnalyzeCleanTrace(t *testing.T) {
+	t.Parallel()
 	f := newFixture(0)
 	th := f.thread(t)
 	a := f.heap.New("A")
@@ -146,6 +150,7 @@ func TestAnalyzeCleanTrace(t *testing.T) {
 }
 
 func TestAnalyzeDetectsLockOrderInversion(t *testing.T) {
+	t.Parallel()
 	f := newFixture(0)
 	t1, t2 := f.thread(t), f.thread(t)
 	a := f.heap.New("A")
@@ -181,6 +186,7 @@ func TestAnalyzeDetectsLockOrderInversion(t *testing.T) {
 }
 
 func TestAnalyzeRecursiveLockingIsNotAnEdge(t *testing.T) {
+	t.Parallel()
 	f := newFixture(0)
 	th := f.thread(t)
 	o := f.heap.New("X")
@@ -198,6 +204,7 @@ func TestAnalyzeRecursiveLockingIsNotAnEdge(t *testing.T) {
 }
 
 func TestAnalyzeUnbalancedTrace(t *testing.T) {
+	t.Parallel()
 	f := newFixture(0)
 	th := f.thread(t)
 	o := f.heap.New("X")
@@ -216,6 +223,7 @@ func TestAnalyzeUnbalancedTrace(t *testing.T) {
 }
 
 func TestAnalyzeThreeWayCycle(t *testing.T) {
+	t.Parallel()
 	f := newFixture(0)
 	th := f.thread(t)
 	a := f.heap.New("A")
@@ -238,6 +246,7 @@ func TestAnalyzeThreeWayCycle(t *testing.T) {
 }
 
 func TestTracerConcurrentUse(t *testing.T) {
+	t.Parallel()
 	f := newFixture(0)
 	o := f.heap.New("X")
 	const goroutines, iters = 6, 200
@@ -267,6 +276,7 @@ func TestTracerConcurrentUse(t *testing.T) {
 }
 
 func TestEventKindStrings(t *testing.T) {
+	t.Parallel()
 	for k, want := range map[EventKind]string{
 		EvAcquire: "acquire", EvRelease: "release",
 		EvWait: "wait", EvNotify: "notify", EventKind(9): "unknown",

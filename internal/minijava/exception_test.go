@@ -11,6 +11,7 @@ import (
 )
 
 func TestThrowAndCatch(t *testing.T) {
+	t.Parallel()
 	src := `
 func main() {
     var result = 0;
@@ -27,6 +28,7 @@ func main() {
 }
 
 func TestCatchSkippedWhenNoThrow(t *testing.T) {
+	t.Parallel()
 	src := `
 func main() {
     var result = 1;
@@ -43,6 +45,7 @@ func main() {
 }
 
 func TestThrowAcrossFunctionCalls(t *testing.T) {
+	t.Parallel()
 	src := `
 func risky(n) {
     if (n > 10) { throw n; }
@@ -68,6 +71,7 @@ func main() {
 }
 
 func TestUncaughtThrowSurfacesAsError(t *testing.T) {
+	t.Parallel()
 	src := `func main() { throw 5; return 0; }`
 	prog, err := Compile(src)
 	if err != nil {
@@ -89,6 +93,7 @@ func TestUncaughtThrowSurfacesAsError(t *testing.T) {
 // exception mechanism: an exception escaping a synchronized block must
 // not leave the lock held.
 func TestThrowThroughSynchronizedBlockReleasesLock(t *testing.T) {
+	t.Parallel()
 	src := `
 class Box { field v; }
 func poke(b: Box, n) {
@@ -133,6 +138,7 @@ func main() {
 }
 
 func TestThrowThroughSyncMethodReleasesLock(t *testing.T) {
+	t.Parallel()
 	src := `
 class Guard {
     field v;
@@ -158,6 +164,7 @@ func main() {
 }
 
 func TestReturnInsideSynchronizedBlockUnlocks(t *testing.T) {
+	t.Parallel()
 	src := `
 class Box { field v; }
 func grab(b: Box) {
@@ -179,6 +186,7 @@ func main() {
 }
 
 func TestReturnInsideNestedSynchronizedBlocksUnlocksAll(t *testing.T) {
+	t.Parallel()
 	src := `
 class A { field v; }
 class B { field v; }
@@ -202,6 +210,7 @@ func main() {
 }
 
 func TestNestedTryCatch(t *testing.T) {
+	t.Parallel()
 	src := `
 func main() {
     var log = 0;
@@ -223,6 +232,7 @@ func main() {
 }
 
 func TestEmptySynchronizedBody(t *testing.T) {
+	t.Parallel()
 	// Regression: an empty protected region must not emit an empty
 	// handler range (which the verifier rejects).
 	src := `
@@ -239,6 +249,7 @@ func main() {
 }
 
 func TestEmptyTryBody(t *testing.T) {
+	t.Parallel()
 	src := `
 func main() {
     var x = 1;
@@ -251,6 +262,7 @@ func main() {
 }
 
 func TestCatchVariableScoping(t *testing.T) {
+	t.Parallel()
 	src := `
 func main() {
     var e = 1;

@@ -43,6 +43,7 @@ func runThin(t *testing.T, src string) int64 {
 }
 
 func TestArithmeticAndPrecedence(t *testing.T) {
+	t.Parallel()
 	cases := []struct {
 		expr string
 		want int64
@@ -63,6 +64,7 @@ func TestArithmeticAndPrecedence(t *testing.T) {
 }
 
 func TestComparisons(t *testing.T) {
+	t.Parallel()
 	cases := []struct {
 		expr string
 		want int64
@@ -83,6 +85,7 @@ func TestComparisons(t *testing.T) {
 }
 
 func TestVariablesAndWhile(t *testing.T) {
+	t.Parallel()
 	src := `
 func main() {
     var sum = 0;
@@ -99,6 +102,7 @@ func main() {
 }
 
 func TestIfElse(t *testing.T) {
+	t.Parallel()
 	src := `
 func classify(n) {
     if (n < 0) { return -1; }
@@ -113,6 +117,7 @@ func main() {
 }
 
 func TestFunctionsAndRecursion(t *testing.T) {
+	t.Parallel()
 	src := `
 func fib(n) {
     if (n < 2) { return n; }
@@ -125,6 +130,7 @@ func main() { return fib(15); }`
 }
 
 func TestClassesFieldsAndMethods(t *testing.T) {
+	t.Parallel()
 	src := `
 class Point {
     field x;
@@ -145,6 +151,7 @@ func main() {
 }
 
 func TestSynchronizedMethodLocksReceiver(t *testing.T) {
+	t.Parallel()
 	src := `
 class Counter {
     field value;
@@ -166,6 +173,7 @@ func main() {
 }
 
 func TestSynchronizedStatement(t *testing.T) {
+	t.Parallel()
 	src := `
 class Box { field v; }
 func main() {
@@ -190,6 +198,7 @@ func main() {
 }
 
 func TestObjectsAsLocalsAndArguments(t *testing.T) {
+	t.Parallel()
 	src := `
 class Cell {
     field v;
@@ -211,6 +220,7 @@ func main() {
 }
 
 func TestCompiledProgramAgreesAcrossLockers(t *testing.T) {
+	t.Parallel()
 	src := `
 class Acc {
     field total;
@@ -241,6 +251,7 @@ func main() {
 // goroutines: the full pipeline (source -> bytecode -> interpreter ->
 // thin locks) must preserve mutual exclusion.
 func TestCompiledContention(t *testing.T) {
+	t.Parallel()
 	src := `
 class Counter {
     field value;
@@ -294,6 +305,7 @@ func hammer(c: Counter, n) {
 }
 
 func TestComments(t *testing.T) {
+	t.Parallel()
 	src := `
 // leading comment
 func main() {
@@ -307,12 +319,14 @@ func main() {
 }
 
 func TestImplicitReturnZero(t *testing.T) {
+	t.Parallel()
 	if got := runThin(t, "func main() { var x = 5; x = x + 1; }"); got != 0 {
 		t.Fatalf("implicit return = %d, want 0", got)
 	}
 }
 
 func TestCompileErrors(t *testing.T) {
+	t.Parallel()
 	cases := []struct {
 		name string
 		src  string
@@ -363,6 +377,7 @@ func TestCompileErrors(t *testing.T) {
 }
 
 func TestErrorsCarryPositions(t *testing.T) {
+	t.Parallel()
 	_, err := Compile("func main() {\n    return y;\n}")
 	if err == nil {
 		t.Fatal("no error")
@@ -373,6 +388,7 @@ func TestErrorsCarryPositions(t *testing.T) {
 }
 
 func TestCompiledCodePassesVerifier(t *testing.T) {
+	t.Parallel()
 	// vm.New verifies every method; a program with deep nesting of
 	// control flow must still verify.
 	src := `

@@ -26,6 +26,7 @@ func roundTrip(t *testing.T, src string) string {
 }
 
 func TestFormatFixpointOnRepresentativePrograms(t *testing.T) {
+	t.Parallel()
 	programs := []string{
 		`func main() { return 0; }`,
 		`func main() { return 1 + 2 * 3 - (4 + 5) * 6; }`,
@@ -58,6 +59,7 @@ func TestFormatFixpointOnRepresentativePrograms(t *testing.T) {
 }
 
 func TestFormatPreservesSemantics(t *testing.T) {
+	t.Parallel()
 	src := `
 class Acc {
     field total;
@@ -85,6 +87,7 @@ func main() {
 }
 
 func TestFormatParenthesization(t *testing.T) {
+	t.Parallel()
 	cases := []struct {
 		src  string
 		want string // the expression as printed inside "return ...;"
@@ -110,6 +113,7 @@ func TestFormatParenthesization(t *testing.T) {
 }
 
 func TestFormatSemanticsUnderParenChanges(t *testing.T) {
+	t.Parallel()
 	// The minimal-parens printer must not change evaluation.
 	src := "func main() { return 100 - (10 - (3 - 1)) * (2 + 1); }"
 	original := runThin(t, src)

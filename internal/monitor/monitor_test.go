@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"thinlock/internal/testutil"
 	"thinlock/internal/threading"
 )
 
@@ -24,6 +25,7 @@ func newThreads(t *testing.T, n int) []*threading.Thread {
 }
 
 func TestEnterExitBasic(t *testing.T) {
+	t.Parallel()
 	ths := newThreads(t, 1)
 	m := New()
 	m.Enter(ths[0])
@@ -42,6 +44,7 @@ func TestEnterExitBasic(t *testing.T) {
 }
 
 func TestRecursiveEnter(t *testing.T) {
+	t.Parallel()
 	ths := newThreads(t, 1)
 	m := New()
 	for i := 1; i <= 5; i++ {
@@ -64,6 +67,7 @@ func TestRecursiveEnter(t *testing.T) {
 }
 
 func TestExitWithoutOwnership(t *testing.T) {
+	t.Parallel()
 	ths := newThreads(t, 2)
 	m := New()
 	if err := m.Exit(ths[0]); err != ErrIllegalMonitorState {
@@ -79,6 +83,7 @@ func TestExitWithoutOwnership(t *testing.T) {
 }
 
 func TestTryEnter(t *testing.T) {
+	t.Parallel()
 	ths := newThreads(t, 2)
 	m := New()
 	if !m.TryEnter(ths[0]) {
@@ -96,6 +101,7 @@ func TestTryEnter(t *testing.T) {
 }
 
 func TestContendedEnterBlocksAndHandsOff(t *testing.T) {
+	t.Parallel()
 	ths := newThreads(t, 2)
 	m := New()
 	m.Enter(ths[0])
@@ -128,6 +134,7 @@ func TestContendedEnterBlocksAndHandsOff(t *testing.T) {
 }
 
 func TestHandoffIsFIFO(t *testing.T) {
+	t.Parallel()
 	ths := newThreads(t, 4)
 	m := New()
 	m.Enter(ths[0])
@@ -163,6 +170,7 @@ func TestHandoffIsFIFO(t *testing.T) {
 // TestMutualExclusion hammers a counter through the monitor and checks
 // that no increment is lost and no two threads are ever inside at once.
 func TestMutualExclusion(t *testing.T) {
+	t.Parallel()
 	const goroutines, iters = 8, 300
 	ths := newThreads(t, goroutines)
 	m := New()
@@ -196,6 +204,7 @@ func TestMutualExclusion(t *testing.T) {
 }
 
 func TestSeedOwner(t *testing.T) {
+	t.Parallel()
 	ths := newThreads(t, 1)
 	m := New()
 	m.SeedOwner(ths[0], 7)
@@ -213,6 +222,7 @@ func TestSeedOwner(t *testing.T) {
 }
 
 func TestSeedOwnerPanicsWhenInUse(t *testing.T) {
+	t.Parallel()
 	ths := newThreads(t, 2)
 	m := New()
 	m.Enter(ths[0])
@@ -225,6 +235,7 @@ func TestSeedOwnerPanicsWhenInUse(t *testing.T) {
 }
 
 func TestSeedOwnerPanicsOnZeroCount(t *testing.T) {
+	t.Parallel()
 	ths := newThreads(t, 1)
 	m := New()
 	defer func() {
@@ -236,6 +247,7 @@ func TestSeedOwnerPanicsOnZeroCount(t *testing.T) {
 }
 
 func TestWaitRequiresOwnership(t *testing.T) {
+	t.Parallel()
 	ths := newThreads(t, 1)
 	m := New()
 	if _, err := m.Wait(ths[0], 0); err != ErrIllegalMonitorState {
@@ -250,6 +262,7 @@ func TestWaitRequiresOwnership(t *testing.T) {
 }
 
 func TestWaitNotify(t *testing.T) {
+	t.Parallel()
 	ths := newThreads(t, 2)
 	m := New()
 	woke := make(chan bool, 1)
@@ -289,6 +302,7 @@ func TestWaitNotify(t *testing.T) {
 }
 
 func TestWaitReleasesFullRecursionAndRestoresIt(t *testing.T) {
+	t.Parallel()
 	ths := newThreads(t, 2)
 	m := New()
 	depthRestored := make(chan uint32, 1)
@@ -326,6 +340,7 @@ func TestWaitReleasesFullRecursionAndRestoresIt(t *testing.T) {
 }
 
 func TestWaitTimeout(t *testing.T) {
+	t.Parallel()
 	ths := newThreads(t, 1)
 	m := New()
 	m.Enter(ths[0])
@@ -350,6 +365,7 @@ func TestWaitTimeout(t *testing.T) {
 }
 
 func TestWaitTimeoutRecontends(t *testing.T) {
+	t.Parallel()
 	// A timed-out waiter must queue behind the current owner.
 	ths := newThreads(t, 2)
 	m := New()
@@ -384,6 +400,7 @@ func TestWaitTimeoutRecontends(t *testing.T) {
 }
 
 func TestNotifyWakesExactlyOne(t *testing.T) {
+	t.Parallel()
 	const waiters = 4
 	ths := newThreads(t, waiters+1)
 	m := New()
@@ -434,6 +451,7 @@ func TestNotifyWakesExactlyOne(t *testing.T) {
 }
 
 func TestNotifyAllWakesAll(t *testing.T) {
+	t.Parallel()
 	const waiters = 6
 	ths := newThreads(t, waiters+1)
 	m := New()
@@ -470,6 +488,7 @@ func TestNotifyAllWakesAll(t *testing.T) {
 }
 
 func TestNotifyWithEmptyWaitSetIsNoop(t *testing.T) {
+	t.Parallel()
 	ths := newThreads(t, 1)
 	m := New()
 	m.Enter(ths[0])
@@ -485,6 +504,7 @@ func TestNotifyWithEmptyWaitSetIsNoop(t *testing.T) {
 }
 
 func TestWaitInterrupted(t *testing.T) {
+	t.Parallel()
 	ths := newThreads(t, 1)
 	m := New()
 	errCh := make(chan error, 1)
@@ -512,6 +532,7 @@ func TestWaitInterrupted(t *testing.T) {
 }
 
 func TestWaitWithPendingInterrupt(t *testing.T) {
+	t.Parallel()
 	ths := newThreads(t, 1)
 	m := New()
 	m.Enter(ths[0])
@@ -529,6 +550,7 @@ func TestWaitWithPendingInterrupt(t *testing.T) {
 }
 
 func TestQuiescent(t *testing.T) {
+	t.Parallel()
 	ths := newThreads(t, 1)
 	m := New()
 	if !m.Quiescent() {
@@ -547,6 +569,7 @@ func TestQuiescent(t *testing.T) {
 }
 
 func TestStatsCounters(t *testing.T) {
+	t.Parallel()
 	ths := newThreads(t, 2)
 	m := New()
 	m.Enter(ths[0])
@@ -577,15 +600,11 @@ func TestStatsCounters(t *testing.T) {
 	}
 }
 
+// waitFor blocks until a monitor-state condition raced by another
+// goroutine holds, via the shared bounded-backoff helper.
 func waitFor(t *testing.T, cond func() bool) {
 	t.Helper()
-	deadline := time.Now().Add(10 * time.Second)
-	for !cond() {
-		if time.Now().After(deadline) {
-			t.Fatal("condition never became true")
-		}
-		time.Sleep(time.Millisecond)
-	}
+	testutil.Eventually(t, 10*time.Second, "monitor condition", cond)
 }
 
 func BenchmarkUncontendedEnterExit(b *testing.B) {

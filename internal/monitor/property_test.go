@@ -12,6 +12,7 @@ import (
 // TestPropertyEntryQueueIsFIFO: for any contender count, grant order
 // equals queue order.
 func TestPropertyEntryQueueIsFIFO(t *testing.T) {
+	t.Parallel()
 	prop := func(nRaw uint8) bool {
 		n := int(nRaw%6) + 2
 		reg := threading.NewRegistry()
@@ -70,6 +71,7 @@ func TestPropertyEntryQueueIsFIFO(t *testing.T) {
 // TestPropertyBalancedRandomRecursion: for any depth sequence, recursive
 // enter/exit always balances and leaves the monitor quiescent.
 func TestPropertyBalancedRandomRecursion(t *testing.T) {
+	t.Parallel()
 	prop := func(depths []uint8) bool {
 		reg := threading.NewRegistry()
 		th, err := reg.Attach("t")

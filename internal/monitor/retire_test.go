@@ -9,6 +9,7 @@ import (
 )
 
 func TestRetireLifecycle(t *testing.T) {
+	t.Parallel()
 	ths := newThreads(t, 2)
 	m := New()
 	if m.Retired() {
@@ -56,6 +57,7 @@ func TestRetireLifecycle(t *testing.T) {
 }
 
 func TestRetireRefusedWithQueuedThreads(t *testing.T) {
+	t.Parallel()
 	ths := newThreads(t, 2)
 	m := New()
 	m.Enter(ths[0])
@@ -84,6 +86,7 @@ func TestRetireRefusedWithQueuedThreads(t *testing.T) {
 }
 
 func TestRetireRefusedWithWaiters(t *testing.T) {
+	t.Parallel()
 	ths := newThreads(t, 2)
 	m := New()
 	go func() {
@@ -110,6 +113,7 @@ func TestRetireRefusedWithWaiters(t *testing.T) {
 }
 
 func TestEnterIfActiveBehavesLikeEnterWhenActive(t *testing.T) {
+	t.Parallel()
 	ths := newThreads(t, 1)
 	m := New()
 	if !m.EnterIfActive(ths[0]) {
@@ -129,6 +133,7 @@ func TestEnterIfActiveBehavesLikeEnterWhenActive(t *testing.T) {
 }
 
 func TestMonitorString(t *testing.T) {
+	t.Parallel()
 	ths := newThreads(t, 1)
 	m := New()
 	m.Enter(ths[0])
@@ -144,6 +149,7 @@ func TestMonitorString(t *testing.T) {
 }
 
 func TestInterruptibleInterface(t *testing.T) {
+	t.Parallel()
 	// The wait node satisfies threading.Interruptible; double interrupt
 	// must be safe.
 	var _ threading.Interruptible = (*node)(nil)

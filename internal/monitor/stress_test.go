@@ -13,6 +13,7 @@ import (
 // waiter must wake exactly once (by notify or timeout), re-acquire, and
 // exit cleanly; the monitor must end quiescent.
 func TestTimedWaitNotifyRaceStorm(t *testing.T) {
+	t.Parallel()
 	reg := threading.NewRegistry()
 	m := New()
 	const waiters = 8
@@ -85,6 +86,7 @@ func TestTimedWaitNotifyRaceStorm(t *testing.T) {
 // primitives and runs several generations — a classic integration of
 // enter/wait/notifyAll semantics.
 func TestMonitorAsCyclicBarrier(t *testing.T) {
+	t.Parallel()
 	reg := threading.NewRegistry()
 	m := New()
 	const parties = 5
@@ -146,6 +148,7 @@ func TestMonitorAsCyclicBarrier(t *testing.T) {
 // TestManyMonitorsConcurrently exercises the table and independent
 // monitors in parallel.
 func TestManyMonitorsConcurrently(t *testing.T) {
+	t.Parallel()
 	reg := threading.NewRegistry()
 	tb := NewTable()
 	const monitors = 16

@@ -6,6 +6,7 @@ import (
 )
 
 func TestTableAllocateAssignsSequentialIndices(t *testing.T) {
+	t.Parallel()
 	tb := NewTable()
 	for i := 0; i < 3000; i++ { // crosses a chunk boundary
 		m := tb.Allocate()
@@ -19,6 +20,7 @@ func TestTableAllocateAssignsSequentialIndices(t *testing.T) {
 }
 
 func TestTableGetReturnsSameMonitor(t *testing.T) {
+	t.Parallel()
 	tb := NewTable()
 	ms := make([]*Monitor, 2500)
 	for i := range ms {
@@ -32,6 +34,7 @@ func TestTableGetReturnsSameMonitor(t *testing.T) {
 }
 
 func TestTableGetPanicsOnBadIndex(t *testing.T) {
+	t.Parallel()
 	tb := NewTable()
 	tb.Allocate()
 	defer func() {
@@ -43,6 +46,7 @@ func TestTableGetPanicsOnBadIndex(t *testing.T) {
 }
 
 func TestTableConcurrentAllocateAndGet(t *testing.T) {
+	t.Parallel()
 	tb := NewTable()
 	const goroutines, perG = 8, 400
 	indices := make([][]uint32, goroutines)
@@ -77,6 +81,7 @@ func TestTableConcurrentAllocateAndGet(t *testing.T) {
 }
 
 func TestNewMonitorHasIndexZero(t *testing.T) {
+	t.Parallel()
 	if New().Index() != 0 {
 		t.Error("table-less monitor should report index 0")
 	}

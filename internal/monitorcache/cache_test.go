@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"thinlock/internal/object"
+	"thinlock/internal/testutil"
 	"thinlock/internal/threading"
 )
 
@@ -29,6 +30,7 @@ func (f *fixture) thread(t *testing.T) *threading.Thread {
 }
 
 func TestLockUnlockBasic(t *testing.T) {
+	t.Parallel()
 	f := newFixture(Options{})
 	th := f.thread(t)
 	o := f.heap.New("X")
@@ -49,6 +51,7 @@ func TestLockUnlockBasic(t *testing.T) {
 }
 
 func TestNestedLocking(t *testing.T) {
+	t.Parallel()
 	f := newFixture(Options{})
 	th := f.thread(t)
 	o := f.heap.New("X")
@@ -66,6 +69,7 @@ func TestNestedLocking(t *testing.T) {
 }
 
 func TestUnlockOfNeverLockedObject(t *testing.T) {
+	t.Parallel()
 	f := newFixture(Options{})
 	th := f.thread(t)
 	o := f.heap.New("X")
@@ -84,6 +88,7 @@ func TestUnlockOfNeverLockedObject(t *testing.T) {
 }
 
 func TestFreeListSweepWhenWorkingSetExceedsCapacity(t *testing.T) {
+	t.Parallel()
 	f := newFixture(Options{Capacity: 8})
 	th := f.thread(t)
 	// Lock/unlock 50 distinct objects: the pool of 8 must sweep.
@@ -107,6 +112,7 @@ func TestFreeListSweepWhenWorkingSetExceedsCapacity(t *testing.T) {
 }
 
 func TestPoolExpandsWhenAllMonitorsHeld(t *testing.T) {
+	t.Parallel()
 	f := newFixture(Options{Capacity: 4})
 	th := f.thread(t)
 	objs := make([]*object.Object, 6)
@@ -128,6 +134,7 @@ func TestPoolExpandsWhenAllMonitorsHeld(t *testing.T) {
 }
 
 func TestRecycledMonitorServesNewObject(t *testing.T) {
+	t.Parallel()
 	f := newFixture(Options{Capacity: 1})
 	th := f.thread(t)
 	a := f.heap.New("A")
@@ -147,6 +154,7 @@ func TestRecycledMonitorServesNewObject(t *testing.T) {
 }
 
 func TestMutualExclusion(t *testing.T) {
+	t.Parallel()
 	f := newFixture(Options{})
 	o := f.heap.New("X")
 	const goroutines, iters = 8, 300
@@ -175,6 +183,7 @@ func TestMutualExclusion(t *testing.T) {
 // TestConcurrentDistinctObjectsUnderPressure checks that the sweep never
 // recycles a monitor out from under a thread that is about to use it.
 func TestConcurrentDistinctObjectsUnderPressure(t *testing.T) {
+	t.Parallel()
 	f := newFixture(Options{Capacity: 4})
 	const goroutines, iters, objects = 6, 200, 32
 	objs := make([]*object.Object, objects)
@@ -209,6 +218,7 @@ func TestConcurrentDistinctObjectsUnderPressure(t *testing.T) {
 }
 
 func TestWaitNotifyThroughCache(t *testing.T) {
+	t.Parallel()
 	f := newFixture(Options{})
 	a, b := f.thread(t), f.thread(t)
 	o := f.heap.New("X")
@@ -250,6 +260,7 @@ func TestWaitNotifyThroughCache(t *testing.T) {
 // TestWaiterSurvivesSweepPressure: an object whose monitor hosts a waiter
 // must not be recycled even under free-list pressure.
 func TestWaiterSurvivesSweepPressure(t *testing.T) {
+	t.Parallel()
 	f := newFixture(Options{Capacity: 2})
 	a, b := f.thread(t), f.thread(t)
 	o := f.heap.New("W")
@@ -264,8 +275,15 @@ func TestWaiterSurvivesSweepPressure(t *testing.T) {
 			t.Error(err)
 		}
 	}()
-	// Give the waiter time to enter the wait set, then churn the cache.
-	time.Sleep(20 * time.Millisecond)
+	// Wait for the waiter to enter the wait set, then churn the cache.
+	testutil.Eventually(t, 0, "waiter parked in the wait set", func() bool {
+		e := f.c.lookupExisting(o)
+		if e == nil {
+			return false
+		}
+		defer f.c.unpin(e)
+		return e.mon.WaitSetLen() == 1
+	})
 	for i := 0; i < 30; i++ {
 		x := f.heap.New("X")
 		f.c.Lock(b, x)
@@ -288,6 +306,7 @@ func TestWaiterSurvivesSweepPressure(t *testing.T) {
 }
 
 func TestName(t *testing.T) {
+	t.Parallel()
 	if NewDefault().Name() != "JDK111" {
 		t.Error("Name mismatch")
 	}

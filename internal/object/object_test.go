@@ -7,6 +7,7 @@ import (
 )
 
 func TestZeroValueIsUnlocked(t *testing.T) {
+	t.Parallel()
 	var o Object
 	if o.Header() != 0 {
 		t.Errorf("zero Object header = %#x, want 0", o.Header())
@@ -17,6 +18,7 @@ func TestZeroValueIsUnlocked(t *testing.T) {
 }
 
 func TestHeapNewSeedsMiscBits(t *testing.T) {
+	t.Parallel()
 	h := NewHeap()
 	sawDistinct := false
 	var prev uint32
@@ -44,6 +46,7 @@ func TestHeapNewSeedsMiscBits(t *testing.T) {
 }
 
 func TestHeapIDsUniqueAndCounted(t *testing.T) {
+	t.Parallel()
 	h := NewHeap()
 	seen := make(map[uint64]bool)
 	for i := 0; i < 100; i++ {
@@ -59,6 +62,7 @@ func TestHeapIDsUniqueAndCounted(t *testing.T) {
 }
 
 func TestHeapConcurrentAllocation(t *testing.T) {
+	t.Parallel()
 	h := NewHeap()
 	const goroutines, perG = 8, 500
 	ids := make([][]uint64, goroutines)
@@ -88,6 +92,7 @@ func TestHeapConcurrentAllocation(t *testing.T) {
 }
 
 func TestCASHeader(t *testing.T) {
+	t.Parallel()
 	h := NewHeap()
 	o := h.New("X")
 	misc := o.Misc()
@@ -103,6 +108,7 @@ func TestCASHeader(t *testing.T) {
 }
 
 func TestSetHeaderPreservesNothing(t *testing.T) {
+	t.Parallel()
 	var o Object
 	o.SetHeader(0xDEADBEEF)
 	if o.Header() != 0xDEADBEEF {
@@ -111,6 +117,7 @@ func TestSetHeaderPreservesNothing(t *testing.T) {
 }
 
 func TestString(t *testing.T) {
+	t.Parallel()
 	h := NewHeap()
 	o := h.New("Vector")
 	if got, want := o.String(), "Vector#1"; got != want {
@@ -125,6 +132,7 @@ func TestString(t *testing.T) {
 // Property: misc bits survive any sequence of lock-field writes that
 // respect the split (as all lock implementations must).
 func TestMiscBitsStableUnderLockFieldWrites(t *testing.T) {
+	t.Parallel()
 	prop := func(writes []uint32) bool {
 		h := NewHeap()
 		o := h.New("X")
@@ -143,6 +151,7 @@ func TestMiscBitsStableUnderLockFieldWrites(t *testing.T) {
 }
 
 func TestClassAndHeaderAddr(t *testing.T) {
+	t.Parallel()
 	h := NewHeap()
 	o := h.New("Vector")
 	if o.Class() != "Vector" {
@@ -158,6 +167,7 @@ func TestClassAndHeaderAddr(t *testing.T) {
 }
 
 func TestFlagBits(t *testing.T) {
+	t.Parallel()
 	h := NewHeap()
 	o := h.New("X")
 	if o.Flags() != 0 {
@@ -182,6 +192,7 @@ func TestFlagBits(t *testing.T) {
 }
 
 func TestFlagBitsConcurrent(t *testing.T) {
+	t.Parallel()
 	// Concurrent set/clear of disjoint bits must not lose updates.
 	h := NewHeap()
 	o := h.New("X")

@@ -78,6 +78,7 @@ func runTrace(t *testing.T, l lockapi.Locker, heap *object.Heap,
 // through the oracle and every optimized implementation; the outcome
 // sequences (success/error per operation) must be identical.
 func TestDifferentialSingleThreadTraces(t *testing.T) {
+	t.Parallel()
 	const numObjects = 3
 	gen := func(seed int64, length int) []traceOp {
 		rng := rand.New(rand.NewSource(seed))
@@ -134,6 +135,7 @@ func runUnder2(t *testing.T, l lockapi.Locker, heap *object.Heap,
 // oracle has no inflation threshold, so all implementations must agree
 // on pure lock/unlock outcomes even across the thin-count overflow.
 func TestDifferentialDeepNesting(t *testing.T) {
+	t.Parallel()
 	const depth = 300 // crosses the 8-bit thin count boundary
 	runUnder := func(mk func() lockapi.Locker) []bool {
 		heap := object.NewHeap()
@@ -165,6 +167,7 @@ func TestDifferentialDeepNesting(t *testing.T) {
 
 // TestOracleBasics sanity-checks the oracle itself.
 func TestOracleBasics(t *testing.T) {
+	t.Parallel()
 	l := New()
 	heap := object.NewHeap()
 	reg := threading.NewRegistry()

@@ -33,6 +33,18 @@ type waiter struct {
 	notified bool
 }
 
+// irqNode adapts the oracle's channel-based wait to the interrupt
+// delivery of threading.Thread.Interrupt, which wakes whatever
+// Interruptible the thread registered. Interrupt may fire more than
+// once; the sync.Once keeps the close idempotent.
+type irqNode struct {
+	once sync.Once
+	ch   chan struct{}
+}
+
+// WakeForInterrupt implements threading.Interruptible.
+func (n *irqNode) WakeForInterrupt() { n.once.Do(func() { close(n.ch) }) }
+
 // Locker is the oracle. It implements lockapi.Locker.
 type Locker struct {
 	mu     sync.Mutex
@@ -116,21 +128,30 @@ func (l *Locker) Wait(t *threading.Thread, o *object.Object, d time.Duration) (b
 	s.owner = nil
 	close(s.entryWake)
 	s.entryWake = make(chan struct{})
+	in := &irqNode{ch: make(chan struct{})}
+	t.SetWaitNode(in)
 	l.mu.Unlock()
 
-	notified := false
+	notified, interrupted := false, false
 	if d > 0 {
 		timer := time.NewTimer(d)
 		select {
 		case <-w.ch:
 			notified = true
 		case <-timer.C:
+		case <-in.ch:
+			interrupted = true
 		}
 		timer.Stop()
 	} else {
-		<-w.ch
-		notified = true
+		select {
+		case <-w.ch:
+			notified = true
+		case <-in.ch:
+			interrupted = true
+		}
 	}
+	t.SetWaitNode(nil)
 
 	l.mu.Lock()
 	if !notified {
@@ -153,6 +174,13 @@ func (l *Locker) Wait(t *threading.Thread, o *object.Object, d time.Duration) (b
 	l.mu.Lock()
 	s.count = saved
 	l.mu.Unlock()
+	// As in internal/monitor: an interrupt wake whose status is still
+	// pending reports ErrInterrupted (consuming the status); if a
+	// concurrent notify raced ahead of the interrupt delivery, the
+	// wakeup counts as the notification and the status stays pending.
+	if interrupted && t.Interrupted() {
+		return notified, threading.ErrInterrupted
+	}
 	return notified, nil
 }
 

@@ -1,0 +1,58 @@
+// Package testutil holds small helpers shared by the test suites of the
+// lock packages. It must not be imported by non-test code.
+package testutil
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// DefaultWaitTimeout bounds Eventually when the caller passes 0.
+const DefaultWaitTimeout = 10 * time.Second
+
+// Eventually polls cond with bounded exponential backoff until it
+// returns true or timeout elapses (0 means DefaultWaitTimeout), and
+// fails the test on timeout. It replaces the ad-hoc sleep/poll loops
+// the test suites used to carry: the early iterations only yield the
+// scheduler, so a condition raced by another goroutine is usually seen
+// within microseconds, while the capped sleep keeps a stuck condition
+// from burning CPU under -race.
+func Eventually(t testing.TB, timeout time.Duration, what string, cond func() bool) {
+	t.Helper()
+	if !eventually(timeout, cond) {
+		t.Fatalf("condition never became true: %s", what)
+	}
+}
+
+// EventuallyTrue is Eventually without the test dependency; it reports
+// whether cond became true before timeout. Used where the caller wants
+// to handle the timeout itself (e.g. the checker's watchdog).
+func EventuallyTrue(timeout time.Duration, cond func() bool) bool {
+	return eventually(timeout, cond)
+}
+
+func eventually(timeout time.Duration, cond func() bool) bool {
+	if timeout <= 0 {
+		timeout = DefaultWaitTimeout
+	}
+	deadline := time.Now().Add(timeout)
+	sleep := 50 * time.Microsecond
+	const maxSleep = 10 * time.Millisecond
+	for i := 0; ; i++ {
+		if cond() {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return cond()
+		}
+		if i < 8 {
+			runtime.Gosched()
+			continue
+		}
+		time.Sleep(sleep)
+		if sleep < maxSleep {
+			sleep *= 2
+		}
+	}
+}

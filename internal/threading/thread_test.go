@@ -8,6 +8,7 @@ import (
 )
 
 func TestAttachAssignsIndices(t *testing.T) {
+	t.Parallel()
 	r := NewRegistry()
 	a, err := r.Attach("a")
 	if err != nil {
@@ -29,6 +30,7 @@ func TestAttachAssignsIndices(t *testing.T) {
 }
 
 func TestIndexFitsIn15Bits(t *testing.T) {
+	t.Parallel()
 	r := NewRegistry()
 	for i := 0; i < 100; i++ {
 		th, err := r.Attach("t")
@@ -47,6 +49,7 @@ func TestIndexFitsIn15Bits(t *testing.T) {
 }
 
 func TestLookup(t *testing.T) {
+	t.Parallel()
 	r := NewRegistry()
 	a, _ := r.Attach("a")
 	if got := r.Lookup(a.Index()); got != a {
@@ -61,6 +64,7 @@ func TestLookup(t *testing.T) {
 }
 
 func TestDetachRecyclesIndex(t *testing.T) {
+	t.Parallel()
 	r := NewRegistry()
 	a, _ := r.Attach("a")
 	idx := a.Index()
@@ -78,6 +82,7 @@ func TestDetachRecyclesIndex(t *testing.T) {
 }
 
 func TestDetachIsIdempotent(t *testing.T) {
+	t.Parallel()
 	r := NewRegistry()
 	a, _ := r.Attach("a")
 	r.Detach(a)
@@ -91,6 +96,7 @@ func TestDetachIsIdempotent(t *testing.T) {
 }
 
 func TestRegistryExhaustion(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("allocates 32767 threads")
 	}
@@ -106,6 +112,7 @@ func TestRegistryExhaustion(t *testing.T) {
 }
 
 func TestRegistryStats(t *testing.T) {
+	t.Parallel()
 	r := NewRegistry()
 	a, _ := r.Attach("a")
 	b, _ := r.Attach("b")
@@ -123,6 +130,7 @@ func TestRegistryStats(t *testing.T) {
 }
 
 func TestGoRunsAndDetaches(t *testing.T) {
+	t.Parallel()
 	r := NewRegistry()
 	var ran *Thread
 	done, err := r.Go("worker", func(th *Thread) { ran = th })
@@ -139,6 +147,7 @@ func TestGoRunsAndDetaches(t *testing.T) {
 }
 
 func TestConcurrentAttachDetach(t *testing.T) {
+	t.Parallel()
 	r := NewRegistry()
 	var wg sync.WaitGroup
 	for g := 0; g < 8; g++ {
@@ -163,6 +172,7 @@ func TestConcurrentAttachDetach(t *testing.T) {
 
 // Property: indices handed out at any instant are unique.
 func TestUniqueIndicesProperty(t *testing.T) {
+	t.Parallel()
 	prop := func(n uint8) bool {
 		r := NewRegistry()
 		seen := make(map[uint16]bool)
@@ -184,6 +194,7 @@ func TestUniqueIndicesProperty(t *testing.T) {
 }
 
 func TestParkerUnparkBeforePark(t *testing.T) {
+	t.Parallel()
 	var p Parker
 	p.Unpark()
 	doneCh := make(chan struct{})
@@ -199,6 +210,7 @@ func TestParkerUnparkBeforePark(t *testing.T) {
 }
 
 func TestParkerUnparksCoalesce(t *testing.T) {
+	t.Parallel()
 	var p Parker
 	p.Unpark()
 	p.Unpark()
@@ -212,6 +224,7 @@ func TestParkerUnparksCoalesce(t *testing.T) {
 }
 
 func TestParkerTimeout(t *testing.T) {
+	t.Parallel()
 	var p Parker
 	start := time.Now()
 	if p.ParkTimeout(20 * time.Millisecond) {
@@ -223,6 +236,7 @@ func TestParkerTimeout(t *testing.T) {
 }
 
 func TestParkerParkAfterUnparkCrossGoroutine(t *testing.T) {
+	t.Parallel()
 	var p Parker
 	released := make(chan struct{})
 	go func() {
@@ -243,6 +257,7 @@ type fakeWaitNode struct{ woke chan struct{} }
 func (f *fakeWaitNode) WakeForInterrupt() { close(f.woke) }
 
 func TestInterruptStatusAndWake(t *testing.T) {
+	t.Parallel()
 	r := NewRegistry()
 	th, _ := r.Attach("t")
 	if th.IsInterrupted() {
@@ -270,6 +285,7 @@ func TestInterruptStatusAndWake(t *testing.T) {
 }
 
 func TestThreadString(t *testing.T) {
+	t.Parallel()
 	r := NewRegistry()
 	th, _ := r.Attach("worker")
 	want := "thread(worker#1)"

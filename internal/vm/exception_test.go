@@ -8,6 +8,7 @@ import (
 )
 
 func TestThrowCaughtInSameMethod(t *testing.T) {
+	t.Parallel()
 	asm := NewAsm().
 		Label("start").
 		Iconst(42).Throw().
@@ -36,6 +37,7 @@ func TestThrowCaughtInSameMethod(t *testing.T) {
 }
 
 func TestThrowPropagatesToCaller(t *testing.T) {
+	t.Parallel()
 	v, th := newVM(t, func(p *Program) {
 		// thrower (index 0): throws 7 unconditionally.
 		p.AddMethod(&Method{
@@ -69,6 +71,7 @@ func TestThrowPropagatesToCaller(t *testing.T) {
 }
 
 func TestUncaughtThrowBecomesError(t *testing.T) {
+	t.Parallel()
 	v, th := newVM(t, func(p *Program) {
 		p.AddMethod(&Method{
 			Name: "boom", Flags: FlagStatic | FlagReturnsValue,
@@ -85,6 +88,7 @@ func TestUncaughtThrowBecomesError(t *testing.T) {
 // exception machinery exists for: abrupt completion of a synchronized
 // method must release the receiver's monitor.
 func TestThrowReleasesSynchronizedMethodMonitor(t *testing.T) {
+	t.Parallel()
 	l := core.NewDefault()
 	v, th := newVMWithLocker(t, l, func(p *Program) {
 		c := &Class{Name: "C", NumFields: 0}
@@ -116,6 +120,7 @@ func TestThrowReleasesSynchronizedMethodMonitor(t *testing.T) {
 // emits for synchronized blocks: a catch-all handler that unlocks and
 // rethrows. The lock must be free after the exception escapes.
 func TestHandlerReleasesMonitorEnterExitPair(t *testing.T) {
+	t.Parallel()
 	l := core.NewDefault()
 	v, th := newVMWithLocker(t, l, func(p *Program) {
 		p.AddClass(&Class{Name: "L", NumFields: 0})
@@ -151,6 +156,7 @@ func TestHandlerReleasesMonitorEnterExitPair(t *testing.T) {
 }
 
 func TestFirstCoveringHandlerWins(t *testing.T) {
+	t.Parallel()
 	asm := NewAsm().
 		Label("start").
 		Iconst(1).Throw().
@@ -180,6 +186,7 @@ func TestFirstCoveringHandlerWins(t *testing.T) {
 }
 
 func TestHandlerClearsOperandStack(t *testing.T) {
+	t.Parallel()
 	// Throw with junk on the stack: the handler sees only the exception.
 	asm := NewAsm().
 		Iconst(111).Iconst(222). // junk
@@ -208,6 +215,7 @@ func TestHandlerClearsOperandStack(t *testing.T) {
 }
 
 func TestVerifyRejectsBadHandlers(t *testing.T) {
+	t.Parallel()
 	cases := []struct {
 		name string
 		h    Handler
@@ -234,6 +242,7 @@ func TestVerifyRejectsBadHandlers(t *testing.T) {
 }
 
 func TestVerifySeedsHandlerDepth(t *testing.T) {
+	t.Parallel()
 	// The handler consumes the thrown value; an unbalanced handler must
 	// be rejected.
 	asm := NewAsm().
@@ -257,6 +266,7 @@ func TestVerifySeedsHandlerDepth(t *testing.T) {
 }
 
 func TestBuildRejectsHandlersWithoutBuildWithHandlers(t *testing.T) {
+	t.Parallel()
 	asm := NewAsm().Label("a").Return().Label("b").Protect("a", "b", "a")
 	if _, err := asm.Build(); err == nil {
 		t.Fatal("Build accepted a listing with handlers")

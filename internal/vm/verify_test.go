@@ -16,6 +16,7 @@ func verifyOne(m *Method) error {
 }
 
 func TestVerifyAcceptsGoodCode(t *testing.T) {
+	t.Parallel()
 	m := &Method{
 		Name: "ok", Flags: FlagStatic | FlagReturnsValue,
 		NumArgs: 1, MaxLocals: 2,
@@ -37,6 +38,7 @@ func TestVerifyAcceptsGoodCode(t *testing.T) {
 }
 
 func TestVerifyRejections(t *testing.T) {
+	t.Parallel()
 	cases := []struct {
 		name string
 		m    *Method
@@ -140,6 +142,7 @@ func TestVerifyRejections(t *testing.T) {
 }
 
 func TestVerifyInconsistentMergeDepth(t *testing.T) {
+	t.Parallel()
 	// Two paths reach the same pc with different stack depths.
 	m := &Method{
 		Name: "m", Flags: FlagStatic, MaxLocals: 1,
@@ -161,6 +164,7 @@ func TestVerifyInconsistentMergeDepth(t *testing.T) {
 }
 
 func TestVerifyInvokeStackAccounting(t *testing.T) {
+	t.Parallel()
 	p := NewProgram()
 	callee := &Method{
 		Name: "two", Flags: FlagStatic | FlagReturnsValue,
@@ -195,6 +199,7 @@ func TestVerifyInvokeStackAccounting(t *testing.T) {
 }
 
 func TestAsmErrors(t *testing.T) {
+	t.Parallel()
 	if _, err := NewAsm().Goto("nowhere").Build(); err == nil {
 		t.Error("undefined label accepted")
 	}
@@ -210,6 +215,7 @@ func TestAsmErrors(t *testing.T) {
 }
 
 func TestOpStrings(t *testing.T) {
+	t.Parallel()
 	if OpMonitorEnter.String() != "monitorenter" {
 		t.Error("op name")
 	}

@@ -33,6 +33,7 @@ func newVMWithLocker(t *testing.T, l lockapi.Locker, build func(p *Program)) (*V
 }
 
 func TestArithmetic(t *testing.T) {
+	t.Parallel()
 	v, th := newVM(t, func(p *Program) {
 		p.AddMethod(&Method{
 			Name: "calc", Flags: FlagStatic | FlagReturnsValue,
@@ -55,6 +56,7 @@ func TestArithmetic(t *testing.T) {
 }
 
 func TestLoopCounting(t *testing.T) {
+	t.Parallel()
 	// locals: 0 = limit (arg), 1 = i, 2 = acc
 	v, th := newVM(t, func(p *Program) {
 		p.AddMethod(&Method{
@@ -83,6 +85,7 @@ func TestLoopCounting(t *testing.T) {
 }
 
 func TestFieldsAndNew(t *testing.T) {
+	t.Parallel()
 	v, th := newVM(t, func(p *Program) {
 		p.AddClass(&Class{Name: "Point", NumFields: 2})
 		p.AddMethod(&Method{
@@ -108,6 +111,7 @@ func TestFieldsAndNew(t *testing.T) {
 }
 
 func TestArrays(t *testing.T) {
+	t.Parallel()
 	v, th := newVM(t, func(p *Program) {
 		p.AddClass(&Class{Name: "Cell", NumFields: 1})
 		p.AddMethod(&Method{
@@ -135,6 +139,7 @@ func TestArrays(t *testing.T) {
 }
 
 func TestInvokeAndRecursion(t *testing.T) {
+	t.Parallel()
 	v, th := newVM(t, func(p *Program) {
 		// fact(n) = n <= 0 ? 1 : n * fact(n-1); method index known = 0.
 		p.AddMethod(&Method{
@@ -161,6 +166,7 @@ func TestInvokeAndRecursion(t *testing.T) {
 }
 
 func TestMonitorEnterExitBytecodes(t *testing.T) {
+	t.Parallel()
 	l := core.NewDefault()
 	v, th := newVMWithLocker(t, l, func(p *Program) {
 		p.AddClass(&Class{Name: "Lockee", NumFields: 1})
@@ -198,6 +204,7 @@ func TestMonitorEnterExitBytecodes(t *testing.T) {
 }
 
 func TestSynchronizedInstanceMethod(t *testing.T) {
+	t.Parallel()
 	v, th := newVM(t, func(p *Program) {
 		c := &Class{Name: "Counter", NumFields: 1}
 		p.AddClass(c)
@@ -225,6 +232,7 @@ func TestSynchronizedInstanceMethod(t *testing.T) {
 }
 
 func TestSynchronizedStaticMethodLocksClassObject(t *testing.T) {
+	t.Parallel()
 	var cls *Class
 	v, th := newVM(t, func(p *Program) {
 		cls = &Class{Name: "G", NumFields: 0}
@@ -247,6 +255,7 @@ func TestSynchronizedStaticMethodLocksClassObject(t *testing.T) {
 }
 
 func TestConcurrentSynchronizedMethods(t *testing.T) {
+	t.Parallel()
 	v, _ := newVM(t, func(p *Program) {
 		c := &Class{Name: "Counter", NumFields: 1}
 		p.AddClass(c)
@@ -286,6 +295,7 @@ func TestConcurrentSynchronizedMethods(t *testing.T) {
 }
 
 func TestRunErrors(t *testing.T) {
+	t.Parallel()
 	v, th := newVM(t, func(p *Program) {
 		p.AddMethod(&Method{
 			Name: "nilderef", Flags: FlagStatic, MaxLocals: 1,
@@ -304,6 +314,7 @@ func TestRunErrors(t *testing.T) {
 }
 
 func TestUnbalancedMonitorExitErrors(t *testing.T) {
+	t.Parallel()
 	v, th := newVM(t, func(p *Program) {
 		p.AddClass(&Class{Name: "X", NumFields: 0})
 		p.AddMethod(&Method{
@@ -321,6 +332,7 @@ func TestUnbalancedMonitorExitErrors(t *testing.T) {
 }
 
 func TestNewInstanceUnknownClass(t *testing.T) {
+	t.Parallel()
 	v, _ := newVM(t, func(p *Program) {
 		p.AddMethod(&Method{Name: "noop", Flags: FlagStatic,
 			Code: NewAsm().Return().MustBuild()})
@@ -334,6 +346,7 @@ func TestNewInstanceUnknownClass(t *testing.T) {
 }
 
 func TestProgramLookups(t *testing.T) {
+	t.Parallel()
 	p := NewProgram()
 	c := &Class{Name: "C"}
 	ci := p.AddClass(c)
@@ -360,6 +373,7 @@ func TestProgramLookups(t *testing.T) {
 }
 
 func TestRemainingOpcodesExecute(t *testing.T) {
+	t.Parallel()
 	// Cover nop, dup, ifne, areturn and the Pos accessor in one method:
 	// dup the constant 7, keep one copy if nonzero, return an object.
 	v, th := newVM(t, func(p *Program) {
@@ -394,6 +408,7 @@ func TestRemainingOpcodesExecute(t *testing.T) {
 }
 
 func TestDisassemble(t *testing.T) {
+	t.Parallel()
 	code := NewAsm().Iconst(5).Iinc(0, 2).Return().MustBuild()
 	dis := Disassemble(code)
 	for _, want := range []string{"iconst 5", "iinc 0 2", "return"} {
@@ -404,6 +419,7 @@ func TestDisassemble(t *testing.T) {
 }
 
 func TestLockerAccessor(t *testing.T) {
+	t.Parallel()
 	l := core.NewDefault()
 	v, _ := newVMWithLocker(t, l, func(p *Program) {
 		p.AddMethod(&Method{Name: "n", Flags: FlagStatic,

@@ -25,6 +25,7 @@ func runOnce(t *testing.T, w Workload, l lockapi.Locker, size int) uint64 {
 }
 
 func TestAllWorkloadsAreWellFormed(t *testing.T) {
+	t.Parallel()
 	suite := All()
 	if len(suite) != 11 {
 		t.Fatalf("suite has %d workloads, want 11", len(suite))
@@ -48,6 +49,7 @@ func TestAllWorkloadsAreWellFormed(t *testing.T) {
 }
 
 func TestByName(t *testing.T) {
+	t.Parallel()
 	if w, ok := ByName("jax"); !ok || w.Name != "jax" {
 		t.Error("ByName(jax) failed")
 	}
@@ -57,6 +59,7 @@ func TestByName(t *testing.T) {
 }
 
 func TestWorkloadsAreDeterministic(t *testing.T) {
+	t.Parallel()
 	for _, w := range All() {
 		w := w
 		t.Run(w.Name, func(t *testing.T) {
@@ -74,6 +77,7 @@ func TestWorkloadsAreDeterministic(t *testing.T) {
 }
 
 func TestWorkloadsAgreeAcrossImplementations(t *testing.T) {
+	t.Parallel()
 	for _, w := range All() {
 		w := w
 		t.Run(w.Name, func(t *testing.T) {
@@ -89,6 +93,7 @@ func TestWorkloadsAgreeAcrossImplementations(t *testing.T) {
 }
 
 func TestWorkloadsScaleWithSize(t *testing.T) {
+	t.Parallel()
 	// Larger size must mean more lock traffic (sanity for the sweep
 	// parameter). Use thin-lock op-free determinism: compare via a
 	// counting locker.
@@ -130,6 +135,7 @@ func countOps(t *testing.T, w Workload, size int) uint64 {
 }
 
 func TestWorkloadsLeaveNoLocksHeld(t *testing.T) {
+	t.Parallel()
 	// After a run under thin locks, no object may remain locked: every
 	// library call must have balanced lock/unlock.
 	for _, w := range All() {
@@ -153,6 +159,7 @@ func TestWorkloadsLeaveNoLocksHeld(t *testing.T) {
 }
 
 func TestSourceText(t *testing.T) {
+	t.Parallel()
 	src := sourceText(50)
 	if !strings.HasPrefix(src, "class Synthetic {") {
 		t.Error("sourceText prefix")
@@ -169,6 +176,7 @@ func TestSourceText(t *testing.T) {
 }
 
 func TestTokenizeShape(t *testing.T) {
+	t.Parallel()
 	l := core.NewDefault()
 	ctx := jcl.NewContext(l, object.NewHeap())
 	reg := threading.NewRegistry()
@@ -190,6 +198,7 @@ func TestTokenizeShape(t *testing.T) {
 }
 
 func TestHashString(t *testing.T) {
+	t.Parallel()
 	if hashString("") != 0 {
 		t.Error("empty hash")
 	}
@@ -200,6 +209,7 @@ func TestHashString(t *testing.T) {
 }
 
 func TestMix(t *testing.T) {
+	t.Parallel()
 	if mix(1, 2) == mix(2, 1) {
 		t.Error("mix is order-insensitive; too weak for checksums")
 	}
@@ -209,6 +219,7 @@ func TestMix(t *testing.T) {
 }
 
 func TestJaxTouchesManyBits(t *testing.T) {
+	t.Parallel()
 	// The jax model must actually converge and produce nonzero sets.
 	sum := runOnce(t, mustByName(t, "jax"), core.NewDefault(), 1)
 	if sum == 0 {
