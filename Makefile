@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test vet race check explore fuzz-smoke
+.PHONY: all build test vet race check explore fuzz-smoke obs-smoke
 
 all: vet build test
 
@@ -24,6 +24,20 @@ race:
 check: build
 	$(GO) run ./cmd/lockcheck -rounds 10
 	$(GO) run ./cmd/lockcheck -explore
+
+# obs-smoke exercises the observability layer end to end: run the
+# contended workload under cmd/lockmon with telemetry enabled, emit the
+# JSON snapshot, the Prometheus snapshot and the Perfetto trace (lockmon
+# self-validates the JSON artifacts), and run the trace-format and
+# overhead tests.
+obs-smoke: build
+	mkdir -p results/obs
+	$(GO) run ./cmd/lockmon -workload bankmt \
+		-json results/obs/snapshot.json \
+		-prom results/obs/snapshot.prom \
+		-trace results/obs/trace.json
+	$(GO) test -run 'TestChromeTrace|TestDisabledHooks|TestEnabledSlowPath' \
+		./internal/locktrace/ ./internal/telemetry/
 
 # fuzz-smoke gives each fuzzer a short budget on top of its seed
 # corpus (testdata/fuzz); any new crasher is written back to testdata.

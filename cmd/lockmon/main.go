@@ -1,0 +1,231 @@
+// Command lockmon runs a workload with the always-on telemetry layer
+// enabled and reports what the locks did: live counter rates, an
+// expvar-style JSON snapshot, a Prometheus text-format snapshot, and a
+// Chrome trace-event file loadable in ui.perfetto.dev.
+//
+// Usage:
+//
+//	lockmon -list
+//	lockmon [-workload name] [-impl name] [-size N] [-live] [-interval D]
+//	        [-json file] [-prom file] [-trace file]
+//
+// Output files use "-" for stdout. The trace wraps the locker in the
+// locktrace recorder, which serializes events through a mutex; leave it
+// off when the counters alone are wanted.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"thinlock/internal/bench"
+	"thinlock/internal/jcl"
+	"thinlock/internal/lockapi"
+	"thinlock/internal/locktrace"
+	"thinlock/internal/object"
+	"thinlock/internal/telemetry"
+	"thinlock/internal/threading"
+	"thinlock/internal/workloads"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list workloads and implementations, then exit")
+	workload := flag.String("workload", "bankmt", "workload to run (see -list)")
+	impl := flag.String("impl", "ThinLock", "lock implementation: ThinLock, IBM112 or JDK111")
+	size := flag.Int("size", 0, "workload size (0 = the workload's default)")
+	live := flag.Bool("live", false, "print live counter deltas to stderr while running")
+	interval := flag.Duration("interval", 250*time.Millisecond, "live print interval")
+	jsonOut := flag.String("json", "", "write expvar-style JSON snapshot to this file (- for stdout)")
+	promOut := flag.String("prom", "", "write Prometheus text-format snapshot to this file (- for stdout)")
+	traceOut := flag.String("trace", "", "write Chrome trace-event JSON to this file (- for stdout)")
+	flag.Parse()
+
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "lockmon: "+format+"\n", args...)
+		os.Exit(1)
+	}
+
+	if *list {
+		fmt.Println("workloads:")
+		for _, w := range workloads.All() {
+			mark := " "
+			if w.Concurrent {
+				mark = "*"
+			}
+			fmt.Printf("  %s %-12s (default size %d) %s\n", mark, w.Name, w.DefaultSize, w.Description)
+		}
+		fmt.Println("  (* = concurrent)")
+		fmt.Println("implementations:")
+		for _, f := range bench.StandardImpls() {
+			fmt.Printf("    %s\n", f.Name)
+		}
+		return
+	}
+
+	w, ok := workloads.ByName(*workload)
+	if !ok {
+		fail("unknown workload %q (try -list)", *workload)
+	}
+	f, ok := bench.Lookup(bench.StandardImpls(), *impl)
+	if !ok {
+		fail("unknown implementation %q (try -list)", *impl)
+	}
+	n := *size
+	if n <= 0 {
+		n = w.DefaultSize
+	}
+
+	var locker lockapi.Locker = f.New()
+	var tracer *locktrace.Tracer
+	if *traceOut != "" {
+		tracer = locktrace.New(locker, 0)
+		locker = tracer
+	}
+
+	m := telemetry.Enable(telemetry.New())
+	defer telemetry.Disable()
+
+	ctx := jcl.NewContext(locker, object.NewHeap())
+	reg := threading.NewRegistry()
+	th, err := reg.Attach("main")
+	if err != nil {
+		fail("attach: %v", err)
+	}
+
+	stopLive := make(chan struct{})
+	liveDone := make(chan struct{})
+	if *live {
+		go func() {
+			defer close(liveDone)
+			prev := m.Snapshot()
+			tick := time.NewTicker(*interval)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stopLive:
+					return
+				case <-tick.C:
+					cur := m.Snapshot()
+					printLive(os.Stderr, cur.Delta(prev))
+					prev = cur
+				}
+			}
+		}()
+	}
+
+	start := time.Now()
+	sum := w.Run(ctx, th, n)
+	elapsed := time.Since(start)
+
+	close(stopLive)
+	if *live {
+		<-liveDone
+	}
+
+	snap := m.Snapshot()
+	fmt.Printf("%s / %s size=%d: checksum=%#x elapsed=%v\n", w.Name, f.Name, n, sum, elapsed)
+	fmt.Print(snap.String())
+
+	if *jsonOut != "" {
+		if err := writeTo(*jsonOut, snap.WriteJSON); err != nil {
+			fail("json: %v", err)
+		}
+		if err := validateJSON(*jsonOut); err != nil {
+			fail("json self-check: %v", err)
+		}
+	}
+	if *promOut != "" {
+		if err := writeTo(*promOut, snap.WritePrometheus); err != nil {
+			fail("prom: %v", err)
+		}
+	}
+	if *traceOut != "" {
+		events := tracer.Events()
+		if err := writeTo(*traceOut, func(w io.Writer) error {
+			return locktrace.WriteChromeTrace(w, events)
+		}); err != nil {
+			fail("trace: %v", err)
+		}
+		if err := validateTrace(*traceOut); err != nil {
+			fail("trace self-check: %v", err)
+		}
+		fmt.Printf("trace: %d events (load in ui.perfetto.dev)\n", len(events))
+	}
+}
+
+// printLive renders the nonzero counter deltas on one line.
+func printLive(w io.Writer, d telemetry.Snapshot) {
+	line := ""
+	for _, k := range []string{
+		"slow_path_entries", "inflations_contention", "queued_parks",
+		"monitor_contended_entries", "monitor_handoffs", "cache_lookups", "hot_ops",
+	} {
+		if v := d.Counter(k); v > 0 {
+			line += fmt.Sprintf(" %s=%d", k, v)
+		}
+	}
+	if line == "" {
+		line = " (idle)"
+	}
+	fmt.Fprintf(w, "lockmon:%s\n", line)
+}
+
+// writeTo writes via fn to path, with "-" meaning stdout.
+func writeTo(path string, fn func(io.Writer) error) error {
+	if path == "-" {
+		return fn(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// validateJSON re-reads a written snapshot and checks it parses.
+func validateJSON(path string) error {
+	if path == "-" {
+		return nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var s telemetry.Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return fmt.Errorf("%s is not a valid snapshot: %w", path, err)
+	}
+	return nil
+}
+
+// validateTrace re-reads a written trace and checks the required
+// Chrome trace-event fields are present on every event.
+func validateTrace(path string) error {
+	if path == "-" {
+		return nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(data, &events); err != nil {
+		return fmt.Errorf("%s is not a JSON array: %w", path, err)
+	}
+	for i, e := range events {
+		for _, field := range []string{"ph", "ts", "tid", "pid"} {
+			if _, ok := e[field]; !ok {
+				return fmt.Errorf("%s: event %d missing %q", path, i, field)
+			}
+		}
+	}
+	return nil
+}

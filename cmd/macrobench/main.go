@@ -6,16 +6,19 @@
 //
 // Usage:
 //
-//	macrobench [-scale F] [-samples N] [-only name,name] [-table1] [-fig3] [-predict] [-v]
+//	macrobench [-scale F] [-samples N] [-only name,name] [-table1] [-fig3] [-predict] [-telemetry] [-v]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"thinlock/internal/bench"
+	"thinlock/internal/telemetry"
 	"thinlock/internal/workloads"
 )
 
@@ -27,6 +30,8 @@ func main() {
 	fig3 := flag.Bool("fig3", false, "print the Figure 3 nesting profile and exit")
 	predict := flag.Bool("predict", false, "run the §3.4 micro-to-macro prediction cross-check")
 	space := flag.Bool("space", false, "print the lock-storage footprint comparison and exit")
+	withTelemetry := flag.Bool("telemetry", false, "record lock telemetry during the Figure 5 run and write per-workload snapshots to -telemetry-dir")
+	telemetryDir := flag.String("telemetry-dir", "results", "directory for -telemetry snapshot JSON files")
 	verbose := flag.Bool("v", false, "print progress")
 	flag.Parse()
 
@@ -91,9 +96,47 @@ func main() {
 	if *verbose {
 		progress = func(s string) { fmt.Fprintln(os.Stderr, "running:", s) }
 	}
+
+	// With -telemetry, the always-on counter layer records every
+	// measured run; the per-benchmark snapshot (covering all samples of
+	// one implementation/workload pair) lands next to the timing
+	// results. The counters are sharded atomics, so unlike the lockstat
+	// wrapper this does not distort the timing comparison.
+	var snaps map[string]map[string]telemetry.Snapshot
+	if *withTelemetry {
+		m := telemetry.Enable(telemetry.New())
+		defer telemetry.Disable()
+		snaps = make(map[string]map[string]telemetry.Snapshot)
+		cfg.AfterRun = func(f bench.Factory, w workloads.Workload) {
+			snap := m.Snapshot()
+			m.Reset()
+			if snaps[w.Name] == nil {
+				snaps[w.Name] = make(map[string]telemetry.Snapshot)
+			}
+			snaps[w.Name][f.Name] = snap
+		}
+	}
+
 	rs, err := bench.RunFigure5(cfg, progress)
 	if err != nil {
 		fail(err)
+	}
+
+	if *withTelemetry {
+		if err := os.MkdirAll(*telemetryDir, 0o755); err != nil {
+			fail(err)
+		}
+		for name, byImpl := range snaps {
+			path := filepath.Join(*telemetryDir, "telemetry_"+name+".json")
+			data, err := json.MarshalIndent(byImpl, "", "  ")
+			if err != nil {
+				fail(err)
+			}
+			if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+				fail(err)
+			}
+			fmt.Fprintln(os.Stderr, "telemetry:", path)
+		}
 	}
 	fmt.Print(bench.FormatMacroTable(rs, "Figure 5 raw times"))
 	fmt.Println()

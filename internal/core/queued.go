@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"thinlock/internal/object"
+	"thinlock/internal/telemetry"
 	"thinlock/internal/threading"
 )
 
@@ -118,6 +119,13 @@ func (l *ThinLocks) queueWait(t *threading.Thread, o *object.Object) {
 	q.mu.Unlock()
 
 	l.queuedParks.Add(1)
+	if m := telemetry.Active(); m != nil {
+		m.Inc(t, telemetry.CtrQueuedParks)
+		start := telemetry.Now()
+		<-ch
+		m.Observe(t, telemetry.HistMonitorStallNs, telemetry.Now()-start)
+		return
+	}
 	<-ch
 }
 
@@ -134,6 +142,7 @@ func (l *ThinLocks) wakeQueued(o *object.Object) {
 		close(ch)
 	}
 	l.flcWakeups.Add(1)
+	telemetry.Inc(nil, telemetry.CtrFLCWakeups)
 	l.flc.drop(o.ID())
 }
 

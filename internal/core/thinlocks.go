@@ -7,6 +7,7 @@ import (
 	"thinlock/internal/arch"
 	"thinlock/internal/monitor"
 	"thinlock/internal/object"
+	"thinlock/internal/telemetry"
 	"thinlock/internal/threading"
 )
 
@@ -272,8 +273,21 @@ func (l *ThinLocks) lockFast(t *threading.Thread, o *object.Object, cpu arch.CPU
 
 // lockSlow handles every case except an initial lock of an unlocked
 // object: nested locking, locking an inflated object, count overflow,
-// and contention (§2.3.3–§2.3.4).
+// and contention (§2.3.3–§2.3.4). The telemetry wrapper lives here, off
+// the fast path: when disabled it is one atomic load and a branch.
 func (l *ThinLocks) lockSlow(t *threading.Thread, o *object.Object, cpu arch.CPU, fence bool) {
+	if m := telemetry.Active(); m != nil {
+		m.Inc(t, telemetry.CtrSlowPathEntries)
+		start := telemetry.Now()
+		l.lockSlowBody(t, o, cpu, fence)
+		m.Observe(t, telemetry.HistAcquireSlowNs, telemetry.Now()-start)
+		return
+	}
+	l.lockSlowBody(t, o, cpu, fence)
+}
+
+// lockSlowBody is the slow-path state machine proper.
+func (l *ThinLocks) lockSlowBody(t *threading.Thread, o *object.Object, cpu arch.CPU, fence bool) {
 	hp := o.HeaderAddr()
 	shifted := t.Shifted()
 	var b arch.Backoff
@@ -305,6 +319,7 @@ func (l *ThinLocks) lockSlow(t *threading.Thread, o *object.Object, cpu arch.CPU
 			// carrying the full nesting depth into the fat lock.
 			// With the paper's 8-bit field this is the 257th lock.
 			l.inflOverflow.Add(1)
+			telemetry.Inc(t, telemetry.CtrInflationsOverflow)
 			locks := l.maxCount + 2
 			if l.mut.OverflowOffByOne {
 				locks-- // seeded bug: one recursion level lost
@@ -322,6 +337,7 @@ func (l *ThinLocks) lockSlow(t *threading.Thread, o *object.Object, cpu arch.CPU
 				if spun {
 					l.spinAcq.Add(1)
 					l.inflContention.Add(1)
+					telemetry.Inc(t, telemetry.CtrInflationsContention)
 					l.inflate(t, o, 1)
 				}
 				if fence {
@@ -329,6 +345,7 @@ func (l *ThinLocks) lockSlow(t *threading.Thread, o *object.Object, cpu arch.CPU
 				}
 				return
 			}
+			telemetry.Inc(t, telemetry.CtrCASFailures)
 
 		default:
 			// Thin-locked by another thread. Our discipline forbids
@@ -340,6 +357,7 @@ func (l *ThinLocks) lockSlow(t *threading.Thread, o *object.Object, cpu arch.CPU
 				l.queueWait(t, o)
 			} else {
 				l.spinRounds.Add(1)
+				telemetry.Inc(t, telemetry.CtrSpinRounds)
 				b.Pause()
 			}
 		}
@@ -486,6 +504,7 @@ func (l *ThinLocks) unlockSlow(t *threading.Thread, o *object.Object, fence, use
 			// index bounce off the retired monitor and re-read the
 			// header.
 			l.deflations.Add(1)
+			telemetry.Inc(t, telemetry.CtrDeflations)
 			if fence {
 				arch.Sync()
 			}
@@ -507,6 +526,7 @@ func (l *ThinLocks) Wait(t *threading.Thread, o *object.Object, d time.Duration)
 	}
 	if w&TIDMask == t.Shifted() {
 		l.inflWait.Add(1)
+		telemetry.Inc(t, telemetry.CtrInflationsWait)
 		m := l.inflate(t, o, ThinCount(w)+1)
 		return m.Wait(t, d)
 	}

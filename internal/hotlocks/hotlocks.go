@@ -27,6 +27,7 @@ import (
 
 	"thinlock/internal/monitor"
 	"thinlock/internal/object"
+	"thinlock/internal/telemetry"
 	"thinlock/internal/threading"
 )
 
@@ -162,16 +163,18 @@ func (h *HotLocks) ColdCount() int {
 func (h *HotLocks) Slots() int { return len(h.slots) }
 
 // hot returns the hot monitor for a hot header word.
-func (h *HotLocks) hot(w uint32) *monitor.Monitor {
+func (h *HotLocks) hot(t *threading.Thread, w uint32) *monitor.Monitor {
 	h.hotOps.Add(1)
+	telemetry.Inc(t, telemetry.CtrHotOps)
 	return h.slots[slotOf(w)]
 }
 
 // coldLookup finds or creates the pinned cold entry for o and bumps its
 // frequency. It reserves a hot slot when the entry crosses the
 // threshold; the reservation index is returned (or -1).
-func (h *HotLocks) coldLookup(o *object.Object, create bool) (*coldEntry, int) {
+func (h *HotLocks) coldLookup(t *threading.Thread, o *object.Object, create bool) (*coldEntry, int) {
 	h.coldOps.Add(1)
+	telemetry.Inc(t, telemetry.CtrColdOps)
 	h.mu.Lock()
 	e := h.cold[o.ID()]
 	if e == nil {
@@ -205,6 +208,7 @@ func (h *HotLocks) coldLookup(o *object.Object, create bool) (*coldEntry, int) {
 // sweepLocked drops quiescent, unpinned cold entries. Caller holds h.mu.
 func (h *HotLocks) sweepLocked() {
 	h.sweeps.Add(1)
+	telemetry.Inc(nil, telemetry.CtrColdSweeps)
 	for id, e := range h.cold {
 		if e.pins == 0 && !e.promoting && e.mon.Quiescent() {
 			delete(h.cold, id)
@@ -222,10 +226,10 @@ func (h *HotLocks) unpin(e *coldEntry) {
 func (h *HotLocks) Lock(t *threading.Thread, o *object.Object) {
 	w := o.Header()
 	if w&hotBit != 0 {
-		h.hot(w).Enter(t)
+		h.hot(t, w).Enter(t)
 		return
 	}
-	e, slot := h.coldLookup(o, true)
+	e, slot := h.coldLookup(t, o, true)
 	e.mon.Enter(t)
 	if slot >= 0 {
 		// Promote: we own the monitor, so no thread is inside a
@@ -238,6 +242,7 @@ func (h *HotLocks) Lock(t *threading.Thread, o *object.Object) {
 		h.mu.Unlock()
 		o.SetHeader(hotWord(slot, w))
 		h.promotions.Add(1)
+		telemetry.Inc(t, telemetry.CtrHotPromotions)
 	}
 	h.unpin(e)
 }
@@ -246,14 +251,14 @@ func (h *HotLocks) Lock(t *threading.Thread, o *object.Object) {
 func (h *HotLocks) Unlock(t *threading.Thread, o *object.Object) error {
 	w := o.Header()
 	if w&hotBit != 0 {
-		return h.hot(w).Exit(t)
+		return h.hot(t, w).Exit(t)
 	}
-	e, _ := h.coldLookup(o, false)
+	e, _ := h.coldLookup(t, o, false)
 	if e == nil {
 		// The object may have been promoted between our header read
 		// and the cache lookup.
 		if w = o.Header(); w&hotBit != 0 {
-			return h.hot(w).Exit(t)
+			return h.hot(t, w).Exit(t)
 		}
 		return ErrIllegalMonitorState
 	}
@@ -266,12 +271,12 @@ func (h *HotLocks) Unlock(t *threading.Thread, o *object.Object) error {
 func (h *HotLocks) Wait(t *threading.Thread, o *object.Object, d time.Duration) (bool, error) {
 	w := o.Header()
 	if w&hotBit != 0 {
-		return h.hot(w).Wait(t, d)
+		return h.hot(t, w).Wait(t, d)
 	}
-	e, _ := h.coldLookup(o, false)
+	e, _ := h.coldLookup(t, o, false)
 	if e == nil {
 		if w = o.Header(); w&hotBit != 0 {
-			return h.hot(w).Wait(t, d)
+			return h.hot(t, w).Wait(t, d)
 		}
 		return false, ErrIllegalMonitorState
 	}
@@ -284,12 +289,12 @@ func (h *HotLocks) Wait(t *threading.Thread, o *object.Object, d time.Duration) 
 func (h *HotLocks) Notify(t *threading.Thread, o *object.Object) error {
 	w := o.Header()
 	if w&hotBit != 0 {
-		return h.hot(w).Notify(t)
+		return h.hot(t, w).Notify(t)
 	}
-	e, _ := h.coldLookup(o, false)
+	e, _ := h.coldLookup(t, o, false)
 	if e == nil {
 		if w = o.Header(); w&hotBit != 0 {
-			return h.hot(w).Notify(t)
+			return h.hot(t, w).Notify(t)
 		}
 		return ErrIllegalMonitorState
 	}
@@ -302,12 +307,12 @@ func (h *HotLocks) Notify(t *threading.Thread, o *object.Object) error {
 func (h *HotLocks) NotifyAll(t *threading.Thread, o *object.Object) error {
 	w := o.Header()
 	if w&hotBit != 0 {
-		return h.hot(w).NotifyAll(t)
+		return h.hot(t, w).NotifyAll(t)
 	}
-	e, _ := h.coldLookup(o, false)
+	e, _ := h.coldLookup(t, o, false)
 	if e == nil {
 		if w = o.Header(); w&hotBit != 0 {
-			return h.hot(w).NotifyAll(t)
+			return h.hot(t, w).NotifyAll(t)
 		}
 		return ErrIllegalMonitorState
 	}

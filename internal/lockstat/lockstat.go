@@ -134,34 +134,98 @@ type Report struct {
 	// Waits and Notifies count the respective operations.
 	Waits    uint64
 	Notifies uint64
+	// ObjSyncs carries the per-object lock-op counts behind the derived
+	// columns, so independently taken Reports can be merged exactly
+	// (including the median, which is not additive).
+	ObjSyncs map[uint64]uint64
 }
 
-// Snapshot returns the current Report.
+// Snapshot returns the current Report. The report owns its ObjSyncs
+// copy, so it stays valid (and mergeable) after the Recorder moves on.
 func (r *Recorder) Snapshot() Report {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	return r.snapshotLocked()
+}
+
+// snapshotLocked builds a Report; caller holds r.mu.
+func (r *Recorder) snapshotLocked() Report {
 	rep := Report{
-		ByDepth:       r.byDepth,
-		TotalSyncs:    r.total,
-		SyncedObjects: len(r.objSyncs),
-		Waits:         r.waits,
-		Notifies:      r.notifies,
+		ByDepth:    r.byDepth,
+		TotalSyncs: r.total,
+		Waits:      r.waits,
+		Notifies:   r.notifies,
+		ObjSyncs:   make(map[uint64]uint64, len(r.objSyncs)),
 	}
-	if rep.SyncedObjects > 0 {
-		rep.SyncsPerObject = float64(rep.TotalSyncs) / float64(rep.SyncedObjects)
-		counts := make([]uint64, 0, len(r.objSyncs))
-		for _, c := range r.objSyncs {
-			counts = append(counts, c)
-		}
-		sort.Slice(counts, func(i, j int) bool { return counts[i] < counts[j] })
-		mid := len(counts) / 2
-		if len(counts)%2 == 1 {
-			rep.MedianSyncsPerObject = float64(counts[mid])
-		} else {
-			rep.MedianSyncsPerObject = float64(counts[mid-1]+counts[mid]) / 2
-		}
+	for id, c := range r.objSyncs {
+		rep.ObjSyncs[id] = c
 	}
+	rep.finalize()
 	return rep
+}
+
+// Reset clears the accumulated statistics and returns the Report they
+// formed, so one Recorder can be reused across measurement phases
+// without per-object map growth leaking between runs. The in-flight
+// nesting-depth tracking is preserved: locks held across the reset keep
+// unwinding correctly.
+func (r *Recorder) Reset() Report {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rep := r.snapshotLocked()
+	r.byDepth = [MaxDepthBucket + 1]uint64{}
+	r.objSyncs = make(map[uint64]uint64)
+	r.total = 0
+	r.waits = 0
+	r.notifies = 0
+	return rep
+}
+
+// finalize recomputes the derived columns (synced objects, syncs per
+// object, median) from ObjSyncs.
+func (rep *Report) finalize() {
+	rep.SyncedObjects = len(rep.ObjSyncs)
+	rep.SyncsPerObject = 0
+	rep.MedianSyncsPerObject = 0
+	if rep.SyncedObjects == 0 {
+		return
+	}
+	rep.SyncsPerObject = float64(rep.TotalSyncs) / float64(rep.SyncedObjects)
+	counts := make([]uint64, 0, len(rep.ObjSyncs))
+	for _, c := range rep.ObjSyncs {
+		counts = append(counts, c)
+	}
+	sort.Slice(counts, func(i, j int) bool { return counts[i] < counts[j] })
+	mid := len(counts) / 2
+	if len(counts)%2 == 1 {
+		rep.MedianSyncsPerObject = float64(counts[mid])
+	} else {
+		rep.MedianSyncsPerObject = float64(counts[mid-1]+counts[mid]) / 2
+	}
+}
+
+// Merge returns a new Report combining rep and other, as if one Recorder
+// had observed both phases: depth buckets and totals add, per-object
+// counts add object-wise, and the derived columns (including the median)
+// are recomputed from the merged per-object counts.
+func (rep Report) Merge(other Report) Report {
+	out := Report{
+		TotalSyncs: rep.TotalSyncs + other.TotalSyncs,
+		Waits:      rep.Waits + other.Waits,
+		Notifies:   rep.Notifies + other.Notifies,
+		ObjSyncs:   make(map[uint64]uint64, len(rep.ObjSyncs)+len(other.ObjSyncs)),
+	}
+	for d := range out.ByDepth {
+		out.ByDepth[d] = rep.ByDepth[d] + other.ByDepth[d]
+	}
+	for id, c := range rep.ObjSyncs {
+		out.ObjSyncs[id] += c
+	}
+	for id, c := range other.ObjSyncs {
+		out.ObjSyncs[id] += c
+	}
+	out.finalize()
+	return out
 }
 
 // DepthShare returns the fraction of lock operations at the given depth

@@ -245,3 +245,82 @@ func TestEmptyReport(t *testing.T) {
 		t.Error("DepthShare beyond buckets on empty report")
 	}
 }
+
+func TestResetReturnsAndClears(t *testing.T) {
+	t.Parallel()
+	f := newFixture()
+	th := f.thread(t)
+	a := f.heap.New("A")
+	b := f.heap.New("B")
+	f.r.Lock(th, a)
+	f.r.Lock(th, a) // nested: stays held across the reset
+	f.r.Lock(th, b)
+	if err := f.r.Unlock(th, b); err != nil {
+		t.Fatal(err)
+	}
+
+	rep := f.r.Reset()
+	if rep.TotalSyncs != 3 || rep.SyncedObjects != 2 {
+		t.Errorf("pre-reset report = %+v", rep)
+	}
+
+	// Post-reset phase starts from zero but the in-flight depth on a is
+	// preserved: the next lock on a counts at depth 2.
+	f.r.Lock(th, a)
+	rep2 := f.r.Snapshot()
+	if rep2.TotalSyncs != 1 || rep2.SyncedObjects != 1 {
+		t.Errorf("post-reset report = %+v", rep2)
+	}
+	if rep2.ByDepth[2] != 1 {
+		t.Errorf("nesting depth lost across reset: %v", rep2.ByDepth)
+	}
+	for i := 0; i < 3; i++ {
+		if err := f.r.Unlock(th, a); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestMergeRecomputesDerivedColumns(t *testing.T) {
+	t.Parallel()
+	f := newFixture()
+	th := f.thread(t)
+	a := f.heap.New("A")
+	b := f.heap.New("B")
+	lockN := func(o *object.Object, n int) {
+		for i := 0; i < n; i++ {
+			f.r.Lock(th, o)
+			if err := f.r.Unlock(th, o); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	lockN(a, 4)
+	phase1 := f.r.Reset()
+	lockN(a, 2)
+	lockN(b, 6)
+	phase2 := f.r.Snapshot()
+
+	merged := phase1.Merge(phase2)
+	if merged.TotalSyncs != 12 {
+		t.Errorf("merged TotalSyncs = %d, want 12", merged.TotalSyncs)
+	}
+	if merged.SyncedObjects != 2 {
+		t.Errorf("merged SyncedObjects = %d, want 2", merged.SyncedObjects)
+	}
+	if merged.ObjSyncs[a.ID()] != 6 || merged.ObjSyncs[b.ID()] != 6 {
+		t.Errorf("merged ObjSyncs = %v", merged.ObjSyncs)
+	}
+	// Median over {6, 6} = 6; not derivable by averaging phase medians.
+	if merged.MedianSyncsPerObject != 6 {
+		t.Errorf("merged median = %f, want 6", merged.MedianSyncsPerObject)
+	}
+	if merged.SyncsPerObject != 6 {
+		t.Errorf("merged syncs/obj = %f, want 6", merged.SyncsPerObject)
+	}
+	// Merge must not alias the inputs' maps.
+	merged.ObjSyncs[a.ID()] = 999
+	if phase1.ObjSyncs[a.ID()] == 999 || phase2.ObjSyncs[a.ID()] == 999 {
+		t.Error("Merge aliased an input ObjSyncs map")
+	}
+}

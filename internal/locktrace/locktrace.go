@@ -57,9 +57,16 @@ type Event struct {
 	Held []uint64
 	// Failed marks operations that returned IllegalMonitorState.
 	Failed bool
-	// At is the time since the tracer was created.
-	At time.Duration
+	// AtNanos is the monotonic time of the event in nanoseconds relative
+	// to the tracer's creation. Monotonic-relative timestamps order
+	// correctly across threads (wall clocks can step) and serialize as a
+	// plain integer; the trace exporters consume this field directly.
+	AtNanos int64
 }
+
+// At returns the event time as a Duration since the tracer's creation,
+// derived from AtNanos (the previous representation of this field).
+func (e Event) At() time.Duration { return time.Duration(e.AtNanos) }
 
 // String renders one event.
 func (e Event) String() string {
@@ -114,7 +121,7 @@ func (tr *Tracer) record(e Event) {
 	tr.mu.Lock()
 	tr.seq++
 	e.Seq = tr.seq
-	e.At = time.Since(tr.start)
+	e.AtNanos = int64(time.Since(tr.start))
 	if len(tr.events) >= tr.capacity {
 		tr.events = tr.events[1:]
 		tr.dropped++

@@ -1,0 +1,149 @@
+package locktrace
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Chrome trace-event export: turns a trace's event stream into the JSON
+// array format that chrome://tracing and ui.perfetto.dev load directly,
+// so a contended schedule can be inspected as a per-thread timeline.
+// Lock-held intervals become complete ("X") duration events on the
+// owning thread's track; waits, notifies and failed operations become
+// instant ("i") events.
+
+// TracePID is the synthetic process id used for all exported events
+// (the repository models one VM).
+const TracePID = 1
+
+// traceEvent is one Chrome trace-event object. Every event carries the
+// required ph/ts/tid/pid fields; ts and dur are microseconds.
+type traceEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Ph    string         `json:"ph"`
+	Ts    float64        `json:"ts"`
+	Dur   *float64       `json:"dur,omitempty"`
+	Pid   int            `json:"pid"`
+	Tid   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+func usec(ns int64) float64 { return float64(ns) / 1e3 }
+
+// WriteChromeTrace writes events as a Chrome trace-event JSON array.
+// Acquire/release pairs per (thread, object) are matched into duration
+// events; an acquire with no matching release (still held when the
+// trace stopped) is closed at the last event's timestamp.
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	out := make([]traceEvent, 0, len(events)+8)
+
+	// Thread-name metadata events for every thread in the trace.
+	seen := map[uint16]bool{}
+	for _, e := range events {
+		if !seen[e.Thread] {
+			seen[e.Thread] = true
+			out = append(out, traceEvent{
+				Name: "thread_name", Ph: "M", Ts: 0,
+				Pid: TracePID, Tid: int(e.Thread),
+				Args: map[string]any{"name": fmt.Sprintf("thread %d", e.Thread)},
+			})
+		}
+	}
+
+	var endNs int64
+	for _, e := range events {
+		if e.AtNanos > endNs {
+			endNs = e.AtNanos
+		}
+	}
+
+	type holdKey struct {
+		thread uint16
+		object uint64
+	}
+	type hold struct {
+		startNs int64
+		name    string
+	}
+	held := map[holdKey][]hold{}
+	span := func(h hold, tid uint16, untilNs int64) traceEvent {
+		d := usec(untilNs - h.startNs)
+		return traceEvent{
+			Name: h.name, Cat: "lock", Ph: "X",
+			Ts: usec(h.startNs), Dur: &d,
+			Pid: TracePID, Tid: int(tid),
+		}
+	}
+	instant := func(e Event, name string) traceEvent {
+		return traceEvent{
+			Name: name, Cat: "lock", Ph: "i",
+			Ts: usec(e.AtNanos), Pid: TracePID, Tid: int(e.Thread),
+			Scope: "t",
+			Args:  map[string]any{"object": fmt.Sprintf("%s#%d", e.Class, e.Object)},
+		}
+	}
+
+	for _, e := range events {
+		k := holdKey{e.Thread, e.Object}
+		name := fmt.Sprintf("%s#%d", e.Class, e.Object)
+		switch e.Kind {
+		case EvAcquire:
+			held[k] = append(held[k], hold{startNs: e.AtNanos, name: name})
+		case EvRelease:
+			if e.Failed {
+				out = append(out, instant(e, "release FAILED"))
+				continue
+			}
+			if hs := held[k]; len(hs) > 0 {
+				h := hs[len(hs)-1]
+				held[k] = hs[:len(hs)-1]
+				out = append(out, span(h, e.Thread, e.AtNanos))
+			}
+		case EvWait:
+			label := "wait"
+			if e.Failed {
+				label = "wait FAILED"
+			}
+			out = append(out, instant(e, label))
+		case EvNotify:
+			label := "notify"
+			if e.Failed {
+				label = "notify FAILED"
+			}
+			out = append(out, instant(e, label))
+		}
+	}
+
+	// Close out locks still held when the trace stopped, in a
+	// deterministic order (held is a map).
+	var leftover []traceEvent
+	for k, hs := range held {
+		for _, h := range hs {
+			leftover = append(leftover, span(h, k.thread, endNs))
+		}
+	}
+	sort.Slice(leftover, func(i, j int) bool {
+		if leftover[i].Tid != leftover[j].Tid {
+			return leftover[i].Tid < leftover[j].Tid
+		}
+		return leftover[i].Ts < leftover[j].Ts
+	})
+	out = append(out, leftover...)
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// ChromeTraceJSON returns the trace as a JSON byte slice.
+func ChromeTraceJSON(events []Event) ([]byte, error) {
+	var b bytes.Buffer
+	if err := WriteChromeTrace(&b, events); err != nil {
+		return nil, err
+	}
+	return b.Bytes(), nil
+}

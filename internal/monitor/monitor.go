@@ -25,6 +25,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"thinlock/internal/telemetry"
 	"thinlock/internal/threading"
 )
 
@@ -135,6 +136,7 @@ func (m *Monitor) Retire(t *threading.Thread) bool {
 	m.owner = nil
 	m.count = 0
 	m.retired = true
+	telemetry.Inc(t, telemetry.CtrMonitorRetirements)
 	return true
 }
 
@@ -169,7 +171,16 @@ func (m *Monitor) enterWithCount(t *threading.Thread, c uint32) bool {
 	n := &node{t: t, granted: make(chan struct{}, 1), reentry: c, state: stateEntryQueue}
 	m.entry = append(m.entry, n)
 	m.contended.Add(1)
+	depth := len(m.entry)
 	m.latch.Unlock()
+	if tm := telemetry.Active(); tm != nil {
+		tm.Inc(t, telemetry.CtrMonitorContendedEntries)
+		tm.Observe(t, telemetry.HistEntryQueueDepth, int64(depth))
+		start := telemetry.Now()
+		<-n.granted // direct handoff: owner/count already set for us
+		tm.Observe(t, telemetry.HistMonitorStallNs, telemetry.Now()-start)
+		return true
+	}
 	<-n.granted // direct handoff: owner/count already set for us
 	return true
 }
@@ -242,6 +253,7 @@ func (m *Monitor) handoffLocked() {
 	m.owner = n.t
 	m.count = n.reentry
 	n.state = stateGranted
+	telemetry.Inc(n.t, telemetry.CtrMonitorHandoffs)
 	n.granted <- struct{}{}
 }
 
@@ -266,6 +278,7 @@ func (m *Monitor) Wait(t *threading.Thread, d time.Duration) (notified bool, err
 		return false, threading.ErrInterrupted
 	}
 	m.waitCount.Add(1)
+	telemetry.Inc(t, telemetry.CtrWaits)
 	n := &node{
 		t:       t,
 		granted: make(chan struct{}, 1),
@@ -286,6 +299,7 @@ func (m *Monitor) Wait(t *threading.Thread, d time.Duration) (notified bool, err
 		case <-n.granted:
 			notified = true
 		case <-timer.C:
+			telemetry.Inc(t, telemetry.CtrWaitTimerWakeups)
 		case <-n.intr:
 			interrupted = true
 		}
@@ -363,6 +377,7 @@ func (m *Monitor) Notify(t *threading.Thread) error {
 		return ErrIllegalMonitorState
 	}
 	m.notifies.Add(1)
+	telemetry.Inc(t, telemetry.CtrNotifies)
 	m.notifyOneLocked()
 	return nil
 }
@@ -375,6 +390,7 @@ func (m *Monitor) NotifyAll(t *threading.Thread) error {
 		return ErrIllegalMonitorState
 	}
 	m.notifies.Add(1)
+	telemetry.Inc(t, telemetry.CtrNotifies)
 	for len(m.waits) > 0 {
 		m.notifyOneLocked()
 	}

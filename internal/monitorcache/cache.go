@@ -25,6 +25,7 @@ import (
 
 	"thinlock/internal/monitor"
 	"thinlock/internal/object"
+	"thinlock/internal/telemetry"
 	"thinlock/internal/threading"
 )
 
@@ -126,12 +127,14 @@ func (c *Cache) PoolSize() int {
 
 // lookup finds or creates the pinned entry for o. The caller must
 // eventually call unpin.
-func (c *Cache) lookup(o *object.Object) *entry {
+func (c *Cache) lookup(t *threading.Thread, o *object.Object) *entry {
 	c.lookups.Add(1)
+	telemetry.Inc(t, telemetry.CtrCacheLookups)
 	c.mu.Lock()
 	e, ok := c.table[o.ID()]
 	if !ok {
 		c.misses.Add(1)
+		telemetry.Inc(t, telemetry.CtrCacheMisses)
 		e = c.takeFreeLocked()
 		e.objID = o.ID()
 		c.table[o.ID()] = e
@@ -143,8 +146,9 @@ func (c *Cache) lookup(o *object.Object) *entry {
 
 // lookupExisting finds and pins the entry for o, or returns nil if the
 // object has no monitor bound (it cannot be locked).
-func (c *Cache) lookupExisting(o *object.Object) *entry {
+func (c *Cache) lookupExisting(t *threading.Thread, o *object.Object) *entry {
 	c.lookups.Add(1)
+	telemetry.Inc(t, telemetry.CtrCacheLookups)
 	c.mu.Lock()
 	e := c.table[o.ID()]
 	if e != nil {
@@ -178,6 +182,7 @@ func (c *Cache) takeFreeLocked() *entry {
 // blames for JDK111's MultiSync slowdown. Caller holds c.mu.
 func (c *Cache) sweepLocked() {
 	c.sweeps.Add(1)
+	telemetry.Inc(nil, telemetry.CtrCacheSweeps)
 	for id, e := range c.table {
 		if e.pins == 0 && e.mon.Quiescent() {
 			delete(c.table, id)
@@ -197,7 +202,7 @@ func (c *Cache) unpin(e *entry) {
 
 // Lock implements lockapi.Locker.
 func (c *Cache) Lock(t *threading.Thread, o *object.Object) {
-	e := c.lookup(o)
+	e := c.lookup(t, o)
 	e.mon.Enter(t)
 	c.unpin(e)
 }
@@ -205,7 +210,7 @@ func (c *Cache) Lock(t *threading.Thread, o *object.Object) {
 // Unlock implements lockapi.Locker. Like monitorenter, monitorexit must
 // consult the cache.
 func (c *Cache) Unlock(t *threading.Thread, o *object.Object) error {
-	e := c.lookupExisting(o)
+	e := c.lookupExisting(t, o)
 	if e == nil {
 		return ErrIllegalMonitorState
 	}
@@ -217,7 +222,7 @@ func (c *Cache) Unlock(t *threading.Thread, o *object.Object) error {
 // Wait implements lockapi.Locker. The pin spans the whole wait so the
 // sweep never recycles a monitor with a waiter in flight.
 func (c *Cache) Wait(t *threading.Thread, o *object.Object, d time.Duration) (bool, error) {
-	e := c.lookupExisting(o)
+	e := c.lookupExisting(t, o)
 	if e == nil {
 		return false, ErrIllegalMonitorState
 	}
@@ -228,7 +233,7 @@ func (c *Cache) Wait(t *threading.Thread, o *object.Object, d time.Duration) (bo
 
 // Notify implements lockapi.Locker.
 func (c *Cache) Notify(t *threading.Thread, o *object.Object) error {
-	e := c.lookupExisting(o)
+	e := c.lookupExisting(t, o)
 	if e == nil {
 		return ErrIllegalMonitorState
 	}
@@ -239,7 +244,7 @@ func (c *Cache) Notify(t *threading.Thread, o *object.Object) error {
 
 // NotifyAll implements lockapi.Locker.
 func (c *Cache) NotifyAll(t *threading.Thread, o *object.Object) error {
-	e := c.lookupExisting(o)
+	e := c.lookupExisting(t, o)
 	if e == nil {
 		return ErrIllegalMonitorState
 	}

@@ -277,7 +277,7 @@ func TestWaiterSurvivesSweepPressure(t *testing.T) {
 	}()
 	// Wait for the waiter to enter the wait set, then churn the cache.
 	testutil.Eventually(t, 0, "waiter parked in the wait set", func() bool {
-		e := f.c.lookupExisting(o)
+		e := f.c.lookupExisting(nil, o)
 		if e == nil {
 			return false
 		}

@@ -1,0 +1,259 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// HistSnapshot is one histogram's merged state.
+type HistSnapshot struct {
+	// Count is the number of observations.
+	Count uint64 `json:"count"`
+	// Sum is the sum of all observations.
+	Sum uint64 `json:"sum"`
+	// Buckets[b] counts observations that fell in log2 bucket b (see
+	// BucketUpperBound).
+	Buckets []uint64 `json:"buckets"`
+}
+
+// Mean returns the average observation, or 0 with no observations.
+func (h HistSnapshot) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Count)
+}
+
+// Quantile returns an upper-bound estimate of the q-quantile (0 < q <= 1):
+// the upper bound of the first bucket whose cumulative count reaches
+// q*Count. Returns 0 with no observations.
+func (h HistSnapshot) Quantile(q float64) uint64 {
+	if h.Count == 0 {
+		return 0
+	}
+	target := uint64(q * float64(h.Count))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for b, n := range h.Buckets {
+		cum += n
+		if cum >= target {
+			return BucketUpperBound(b)
+		}
+	}
+	return BucketUpperBound(NumBuckets - 1)
+}
+
+// merge adds o into h.
+func (h *HistSnapshot) merge(o HistSnapshot) {
+	h.Count += o.Count
+	h.Sum += o.Sum
+	if len(h.Buckets) < len(o.Buckets) {
+		grown := make([]uint64, len(o.Buckets))
+		copy(grown, h.Buckets)
+		h.Buckets = grown
+	}
+	for b, n := range o.Buckets {
+		h.Buckets[b] += n
+	}
+}
+
+// Snapshot is a point-in-time merge of every shard, keyed by metric
+// name. Snapshots from different Telemetry instances (or macrobench
+// phases) can be merged.
+type Snapshot struct {
+	Counters   map[string]uint64       `json:"counters"`
+	Histograms map[string]HistSnapshot `json:"histograms"`
+}
+
+// Snapshot merges all shards into a Snapshot. It is safe to call while
+// other threads are recording; the result is a consistent-enough sum
+// (each cell is read atomically).
+func (m *Telemetry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   make(map[string]uint64, NumCounters),
+		Histograms: make(map[string]HistSnapshot, NumHistos),
+	}
+	for c := Counter(0); c < NumCounters; c++ {
+		var n uint64
+		for i := range m.shards {
+			n += m.shards[i].counters[c].Load()
+		}
+		s.Counters[c.Name()] = n
+	}
+	for h := Histo(0); h < NumHistos; h++ {
+		hs := HistSnapshot{Buckets: make([]uint64, NumBuckets)}
+		for i := range m.shards {
+			sh := &m.shards[i]
+			for b := 0; b < NumBuckets; b++ {
+				hs.Buckets[b] += sh.buckets[h][b].Load()
+			}
+			hs.Sum += sh.sums[h].Load()
+		}
+		for _, n := range hs.Buckets {
+			hs.Count += n
+		}
+		s.Histograms[h.Name()] = hs
+	}
+	return s
+}
+
+// Merge returns a new Snapshot with o's counts added to s's.
+func (s Snapshot) Merge(o Snapshot) Snapshot {
+	out := Snapshot{
+		Counters:   make(map[string]uint64, len(s.Counters)),
+		Histograms: make(map[string]HistSnapshot, len(s.Histograms)),
+	}
+	for k, v := range s.Counters {
+		out.Counters[k] = v
+	}
+	for k, v := range o.Counters {
+		out.Counters[k] += v
+	}
+	for k, v := range s.Histograms {
+		c := HistSnapshot{Count: v.Count, Sum: v.Sum, Buckets: append([]uint64(nil), v.Buckets...)}
+		out.Histograms[k] = c
+	}
+	for k, v := range o.Histograms {
+		c := out.Histograms[k]
+		c.merge(v)
+		out.Histograms[k] = c
+	}
+	return out
+}
+
+// Delta returns s minus prev, counter-wise (for live-rate displays).
+// Histogram deltas subtract bucket-wise; counts that shrank (after a
+// Reset) clamp to zero.
+func (s Snapshot) Delta(prev Snapshot) Snapshot {
+	sub := func(a, b uint64) uint64 {
+		if a < b {
+			return 0
+		}
+		return a - b
+	}
+	out := Snapshot{
+		Counters:   make(map[string]uint64, len(s.Counters)),
+		Histograms: make(map[string]HistSnapshot, len(s.Histograms)),
+	}
+	for k, v := range s.Counters {
+		out.Counters[k] = sub(v, prev.Counters[k])
+	}
+	for k, v := range s.Histograms {
+		p := prev.Histograms[k]
+		d := HistSnapshot{
+			Count:   sub(v.Count, p.Count),
+			Sum:     sub(v.Sum, p.Sum),
+			Buckets: make([]uint64, len(v.Buckets)),
+		}
+		for b := range v.Buckets {
+			var pb uint64
+			if b < len(p.Buckets) {
+				pb = p.Buckets[b]
+			}
+			d.Buckets[b] = sub(v.Buckets[b], pb)
+		}
+		out.Histograms[k] = d
+	}
+	return out
+}
+
+// Counter returns the named counter's value (0 if absent).
+func (s Snapshot) Counter(name string) uint64 { return s.Counters[name] }
+
+// Inflations returns the total inflation count across all causes.
+func (s Snapshot) Inflations() uint64 {
+	return s.Counters["inflations_contention"] +
+		s.Counters["inflations_overflow"] +
+		s.Counters["inflations_wait"]
+}
+
+// WriteJSON writes the snapshot as expvar-style JSON: one object with
+// sorted keys, counters as numbers, histograms as structured values.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// PromPrefix is prepended to every Prometheus metric name.
+const PromPrefix = "thinlock_"
+
+// WritePrometheus writes the snapshot in Prometheus text exposition
+// format: counters as `thinlock_<name>_total`, histograms as classic
+// cumulative `_bucket`/`_sum`/`_count` series.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	names := make([]string, 0, len(s.Counters))
+	for k := range s.Counters {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, k := range names {
+		fmt.Fprintf(&b, "# TYPE %s%s_total counter\n", PromPrefix, k)
+		fmt.Fprintf(&b, "%s%s_total %d\n", PromPrefix, k, s.Counters[k])
+	}
+	hnames := make([]string, 0, len(s.Histograms))
+	for k := range s.Histograms {
+		hnames = append(hnames, k)
+	}
+	sort.Strings(hnames)
+	for _, k := range hnames {
+		h := s.Histograms[k]
+		fmt.Fprintf(&b, "# TYPE %s%s histogram\n", PromPrefix, k)
+		var cum uint64
+		for bkt, n := range h.Buckets {
+			cum += n
+			// Skip interior empty buckets to keep the exposition
+			// compact; cumulative semantics are unaffected.
+			if n == 0 && bkt != len(h.Buckets)-1 {
+				continue
+			}
+			le := "+Inf"
+			if ub := BucketUpperBound(bkt); ub != ^uint64(0) {
+				le = fmt.Sprintf("%d", ub)
+			}
+			fmt.Fprintf(&b, "%s%s_bucket{le=%q} %d\n", PromPrefix, k, le, cum)
+		}
+		fmt.Fprintf(&b, "%s%s_sum %d\n", PromPrefix, k, h.Sum)
+		fmt.Fprintf(&b, "%s%s_count %d\n", PromPrefix, k, h.Count)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// String renders a compact human-readable summary: nonzero counters in
+// sorted order, then histogram means.
+func (s Snapshot) String() string {
+	names := make([]string, 0, len(s.Counters))
+	for k, v := range s.Counters {
+		if v > 0 {
+			names = append(names, k)
+		}
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, k := range names {
+		fmt.Fprintf(&b, "%-28s %d\n", k, s.Counters[k])
+	}
+	hnames := make([]string, 0, len(s.Histograms))
+	for k, h := range s.Histograms {
+		if h.Count > 0 {
+			hnames = append(hnames, k)
+		}
+	}
+	sort.Strings(hnames)
+	for _, k := range hnames {
+		h := s.Histograms[k]
+		fmt.Fprintf(&b, "%-28s n=%d mean=%.0f p50<=%d p99<=%d\n",
+			k, h.Count, h.Mean(), h.Quantile(0.5), h.Quantile(0.99))
+	}
+	if b.Len() == 0 {
+		return "(no telemetry recorded)\n"
+	}
+	return b.String()
+}

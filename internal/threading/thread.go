@@ -78,6 +78,10 @@ func (t *Thread) Shifted() uint32 { return t.shifted }
 // Name returns the name given at Attach time.
 func (t *Thread) Name() string { return t.name }
 
+// Registry returns the registry the thread is attached to, so code
+// holding only a thread (e.g. a workload body) can attach helpers.
+func (t *Thread) Registry() *Registry { return t.registry }
+
 // String implements fmt.Stringer.
 func (t *Thread) String() string {
 	return fmt.Sprintf("thread(%s#%d)", t.name, t.Index())

@@ -5,6 +5,7 @@ import (
 
 	"thinlock/internal/lockapi"
 	"thinlock/internal/object"
+	"thinlock/internal/telemetry"
 	"thinlock/internal/threading"
 )
 
@@ -373,12 +374,14 @@ func (v *VM) exec(t *threading.Thread, m *Method, args []Value) (result Value, t
 			if ref.Ref == nil {
 				throwf("monitorenter on nil reference")
 			}
+			telemetry.Inc(t, telemetry.CtrVMMonitorEnter)
 			v.locker.Lock(t, ref.Ref.Object)
 		case OpMonitorExit:
 			ref := pop()
 			if ref.Ref == nil {
 				throwf("monitorexit on nil reference")
 			}
+			telemetry.Inc(t, telemetry.CtrVMMonitorExit)
 			if err := v.locker.Unlock(t, ref.Ref.Object); err != nil {
 				throwf("monitorexit: %v", err)
 			}

@@ -1,0 +1,95 @@
+package workloads
+
+import (
+	"fmt"
+
+	"thinlock/internal/jcl"
+	"thinlock/internal/lockapi"
+	"thinlock/internal/object"
+	"thinlock/internal/threading"
+)
+
+// bankWorkers is the fixed worker-thread count of the bankmt workload.
+const bankWorkers = 4
+
+// bankAccounts is the number of shared accounts the workers fight over.
+const bankAccounts = 8
+
+// runBankmt is the suite's one genuinely multithreaded workload: four
+// worker threads transfer between eight shared accounts, so thin locks
+// inflate under real contention and the telemetry slow-path counters
+// have something to count. Each account's balance lives at index 0 of a
+// shared Vector; a separate plain guard object per account serializes
+// the read-modify-write, so the Vector's own synchronized calls stay
+// uncontended (and shallow) while the guards carry the contention.
+//
+// Determinism: each worker executes a fixed per-worker sequence of
+// deposits and withdrawals whose amounts depend only on (worker, round).
+// Deposits and withdrawals are separate critical sections (no worker
+// ever holds two guards), and balance updates commute, so the final
+// balances — and therefore the checksum — are independent of the
+// schedule.
+func runBankmt(ctx *jcl.Context, t *threading.Thread, size int) uint64 {
+	l := ctx.Locker()
+	heap := ctx.Heap()
+
+	accounts := make([]*jcl.Vector, bankAccounts)
+	guards := make([]*object.Object, bankAccounts)
+	for i := range accounts {
+		v := ctx.NewVector()
+		v.AddElement(t, int64(1000*(i+1)))
+		accounts[i] = v
+		guards[i] = heap.New("Object")
+	}
+	ledger := ctx.NewVector()
+	ledgerGuard := heap.New("Object")
+
+	rounds := 40 * size
+	reg := t.Registry()
+	dones := make([]<-chan struct{}, 0, bankWorkers)
+	for w := 0; w < bankWorkers; w++ {
+		w := w
+		done, err := reg.Go(fmt.Sprintf("bank-%d", w), func(wt *threading.Thread) {
+			for r := 0; r < rounds; r++ {
+				// Fixed per-(worker, round) transfer: move amt from
+				// account src to account dst, in two independent
+				// critical sections so no two guards are ever held
+				// at once.
+				src := (w + r) % bankAccounts
+				dst := (w*3 + r*5 + 1) % bankAccounts
+				amt := int64((w+1)*(r%7) + 1)
+				lockapi.Synchronized(l, wt, guards[src], func() {
+					bal := accounts[src].ElementAt(wt, 0).(int64)
+					accounts[src].SetElementAt(wt, bal-amt, 0)
+				})
+				lockapi.Synchronized(l, wt, guards[dst], func() {
+					bal := accounts[dst].ElementAt(wt, 0).(int64)
+					accounts[dst].SetElementAt(wt, bal+amt, 0)
+				})
+				if r%8 == 0 {
+					lockapi.Synchronized(l, wt, ledgerGuard, func() {
+						ledger.AddElement(wt, int64(w))
+					})
+				}
+			}
+		})
+		if err != nil {
+			panic(fmt.Sprintf("workloads: bankmt attach: %v", err))
+		}
+		dones = append(dones, done)
+	}
+	for _, done := range dones {
+		<-done
+	}
+
+	// Checksum folds only schedule-independent state: the final
+	// balances (addition commutes, so they are deterministic) and the
+	// ledger size (fixed count per worker).
+	var sum uint64
+	for i, a := range accounts {
+		sum = mix(sum, uint64(i))
+		sum = mix(sum, uint64(a.ElementAt(t, 0).(int64)))
+	}
+	sum = mix(sum, uint64(ledger.Size(t)))
+	return sum
+}

@@ -35,6 +35,10 @@ type Workload struct {
 	Description string
 	// DefaultSize is the work multiplier used by cmd/macrobench.
 	DefaultSize int
+	// Concurrent marks workloads that spawn worker threads (and may
+	// therefore inflate thin locks); single-threaded invariants such as
+	// "no inflations" do not apply to them.
+	Concurrent bool
 	// Run executes the workload on thread t against ctx's library,
 	// returning a deterministic checksum.
 	Run func(ctx *jcl.Context, t *threading.Thread, size int) uint64
@@ -119,6 +123,14 @@ func All() []Workload {
 			Description: "compiled synchronized methods + blocks through the interpreter",
 			DefaultSize: 10,
 			Run:         runMinibank,
+		},
+		{
+			Name:        "bankmt",
+			Source:      "(this repository) contended bank-transfer kernel",
+			Description: "4 worker threads transferring between 8 guarded accounts; inflates locks",
+			DefaultSize: 20,
+			Concurrent:  true,
+			Run:         runBankmt,
 		},
 	}
 }
