@@ -26,18 +26,24 @@ check: build
 	$(GO) run ./cmd/lockcheck -explore
 
 # obs-smoke exercises the observability layer end to end: run the
-# contended workload under cmd/lockmon with telemetry enabled, emit the
-# JSON snapshot, the Prometheus snapshot and the Perfetto trace (lockmon
-# self-validates the JSON artifacts), and run the trace-format and
-# overhead tests.
+# contended workload under cmd/lockmon with telemetry and the contention
+# profiler enabled, emit the JSON snapshot, the Prometheus snapshot, the
+# Perfetto trace and the pprof contention profile (lockmon self-validates
+# the JSON artifacts), run the trace-format and overhead tests, and then
+# smoke the live HTTP server: scripts/obs_smoke_serve.sh starts
+# `lockmon -serve`, curls /metrics, /debug/vars, /debug/lockprof/top
+# (>= 2 contended sites) and /debug/pprof/lockcontention, and validates
+# the profile with `go tool pprof -raw`.
 obs-smoke: build
 	mkdir -p results/obs
 	$(GO) run ./cmd/lockmon -workload bankmt \
 		-json results/obs/snapshot.json \
 		-prom results/obs/snapshot.prom \
-		-trace results/obs/trace.json
-	$(GO) test -run 'TestChromeTrace|TestDisabledHooks|TestEnabledSlowPath' \
-		./internal/locktrace/ ./internal/telemetry/
+		-trace results/obs/trace.json \
+		-pprof results/obs/lockmon.pb.gz
+	$(GO) test -run 'TestChromeTrace|TestDisabledHooks|TestEnabledSlowPath|TestDisabledProfiler|TestPprofProfile' \
+		./internal/locktrace/ ./internal/telemetry/ ./internal/lockprof/
+	GO="$(GO)" scripts/obs_smoke_serve.sh results/obs
 
 # fuzz-smoke gives each fuzzer a short budget on top of its seed
 # corpus (testdata/fuzz); any new crasher is written back to testdata.

@@ -1,0 +1,173 @@
+// Command benchdiff compares two sets of macrobench -json results and
+// fails (exit 1) when any implementation regressed beyond a threshold.
+// Each side is either one bench_<workload>.json file or a directory of
+// them; timings are matched on (workload, impl, param).
+//
+// Usage:
+//
+//	macrobench -json -json-dir results/base     # before a change
+//	macrobench -json -json-dir results/head     # after
+//	benchdiff -threshold 0.10 results/base results/head
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"thinlock/internal/bench"
+)
+
+type timingKey struct {
+	Workload string
+	Impl     string
+	Param    int
+}
+
+func (k timingKey) String() string {
+	if k.Param != 0 {
+		return fmt.Sprintf("%s/%s@%d", k.Workload, k.Impl, k.Param)
+	}
+	return k.Workload + "/" + k.Impl
+}
+
+// diffRow is one matched timing pair. Ratio is new/old ns-per-op, so
+// values above 1 are slowdowns.
+type diffRow struct {
+	Key        timingKey
+	OldNsPerOp float64
+	NewNsPerOp float64
+	Ratio      float64
+}
+
+// computeDiff matches the two sides and flags every row whose slowdown
+// exceeds threshold (0.10 = fail at >10% slower). Keys present on only
+// one side are returned separately — a vanished benchmark must be
+// visible, not silently ignored.
+func computeDiff(old, new map[timingKey]bench.JSONResult, threshold float64) (rows []diffRow, regressed []diffRow, unmatched []string) {
+	for k, o := range old {
+		n, ok := new[k]
+		if !ok {
+			unmatched = append(unmatched, k.String()+" (only in old)")
+			continue
+		}
+		r := diffRow{Key: k, OldNsPerOp: o.NsPerOp, NewNsPerOp: n.NsPerOp}
+		if o.NsPerOp > 0 {
+			r.Ratio = n.NsPerOp / o.NsPerOp
+		}
+		rows = append(rows, r)
+		if r.Ratio > 1+threshold {
+			regressed = append(regressed, r)
+		}
+	}
+	for k := range new {
+		if _, ok := old[k]; !ok {
+			unmatched = append(unmatched, k.String()+" (only in new)")
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Ratio > rows[j].Ratio })
+	sort.Slice(regressed, func(i, j int) bool { return regressed[i].Ratio > regressed[j].Ratio })
+	sort.Strings(unmatched)
+	return rows, regressed, unmatched
+}
+
+// index flattens parsed files into the comparison map.
+func index(files []bench.JSONFile) map[timingKey]bench.JSONResult {
+	out := make(map[timingKey]bench.JSONResult)
+	for _, f := range files {
+		for _, r := range f.Results {
+			out[timingKey{Workload: f.Workload, Impl: r.Impl, Param: r.Param}] = r
+		}
+	}
+	return out
+}
+
+// load reads one bench_*.json file, or every bench_*.json in a
+// directory.
+func load(path string) ([]bench.JSONFile, error) {
+	info, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	paths := []string{path}
+	if info.IsDir() {
+		paths, err = filepath.Glob(filepath.Join(path, "bench_*.json"))
+		if err != nil {
+			return nil, err
+		}
+		if len(paths) == 0 {
+			return nil, fmt.Errorf("%s: no bench_*.json files", path)
+		}
+		sort.Strings(paths)
+	}
+	var files []bench.JSONFile
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return nil, err
+		}
+		var f bench.JSONFile
+		if err := json.Unmarshal(data, &f); err != nil {
+			return nil, fmt.Errorf("%s: %v", p, err)
+		}
+		if f.Workload == "" {
+			return nil, fmt.Errorf("%s: not a macrobench -json file (no workload field)", p)
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+func provenance(files []bench.JSONFile) string {
+	for _, f := range files {
+		if f.GitRev != "" {
+			return f.GitRev
+		}
+	}
+	return "?"
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 0.10, "fail when new/old ns-per-op exceeds 1+threshold")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold F] <old file-or-dir> <new file-or-dir>")
+		os.Exit(2)
+	}
+	oldFiles, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	newFiles, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+
+	rows, regressed, unmatched := computeDiff(index(oldFiles), index(newFiles), *threshold)
+	fmt.Printf("benchdiff: old=%s new=%s threshold=%.0f%%\n",
+		provenance(oldFiles), provenance(newFiles), 100**threshold)
+	fmt.Printf("%-36s %14s %14s %8s\n", "benchmark/impl", "old ns/op", "new ns/op", "delta")
+	fmt.Println(strings.Repeat("-", 36+14+14+8+3))
+	for _, r := range rows {
+		fmt.Printf("%-36s %14.0f %14.0f %+7.1f%%\n",
+			r.Key, r.OldNsPerOp, r.NewNsPerOp, 100*(r.Ratio-1))
+	}
+	for _, u := range unmatched {
+		fmt.Printf("%-36s (unmatched)\n", u)
+	}
+	if len(regressed) > 0 {
+		fmt.Printf("\nFAIL: %d regression(s) beyond %.0f%%:\n", len(regressed), 100**threshold)
+		for _, r := range regressed {
+			fmt.Printf("  %s: %.0f -> %.0f ns/op (%+.1f%%)\n",
+				r.Key, r.OldNsPerOp, r.NewNsPerOp, 100*(r.Ratio-1))
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("\nOK: no regression beyond %.0f%% across %d matched timings\n", 100**threshold, len(rows))
+}

@@ -1,0 +1,112 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"thinlock/internal/bench"
+)
+
+func result(impl string, ns float64) bench.JSONResult {
+	return bench.JSONResult{Impl: impl, NsPerOp: ns, Ops: 1000, ElapsedNs: int64(1000 * ns)}
+}
+
+func TestComputeDiffFlagsOnlyRealRegressions(t *testing.T) {
+	old := map[timingKey]bench.JSONResult{
+		{Workload: "bankmt", Impl: "ThinLock"}:  result("ThinLock", 100),
+		{Workload: "bankmt", Impl: "JDK111"}:    result("JDK111", 400),
+		{Workload: "javalex", Impl: "ThinLock"}: result("ThinLock", 50),
+	}
+	new := map[timingKey]bench.JSONResult{
+		{Workload: "bankmt", Impl: "ThinLock"}:  result("ThinLock", 125), // +25%: regression
+		{Workload: "bankmt", Impl: "JDK111"}:    result("JDK111", 420),   // +5%: within threshold
+		{Workload: "javalex", Impl: "ThinLock"}: result("ThinLock", 40),  // improvement
+	}
+	rows, regressed, unmatched := computeDiff(old, new, 0.10)
+	if len(rows) != 3 || len(unmatched) != 0 {
+		t.Fatalf("rows=%d unmatched=%v, want 3 matched rows", len(rows), unmatched)
+	}
+	if len(regressed) != 1 || regressed[0].Key.Workload != "bankmt" || regressed[0].Key.Impl != "ThinLock" {
+		t.Fatalf("regressed = %+v, want exactly bankmt/ThinLock", regressed)
+	}
+	if got := regressed[0].Ratio; got < 1.24 || got > 1.26 {
+		t.Errorf("ratio = %.3f, want 1.25", got)
+	}
+	// Rows sort worst-first so the regression leads the report.
+	if rows[0].Key.Impl != "ThinLock" || rows[0].Key.Workload != "bankmt" {
+		t.Errorf("worst row = %v, want bankmt/ThinLock", rows[0].Key)
+	}
+}
+
+func TestComputeDiffReportsUnmatchedSides(t *testing.T) {
+	old := map[timingKey]bench.JSONResult{
+		{Workload: "gone", Impl: "ThinLock"}: result("ThinLock", 10),
+	}
+	new := map[timingKey]bench.JSONResult{
+		{Workload: "added", Impl: "ThinLock"}: result("ThinLock", 10),
+	}
+	rows, regressed, unmatched := computeDiff(old, new, 0.10)
+	if len(rows) != 0 || len(regressed) != 0 {
+		t.Fatalf("rows=%d regressed=%d, want none matched", len(rows), len(regressed))
+	}
+	if len(unmatched) != 2 {
+		t.Fatalf("unmatched = %v, want both sides reported", unmatched)
+	}
+}
+
+func TestComputeDiffThresholdBoundaryIsExclusive(t *testing.T) {
+	old := map[timingKey]bench.JSONResult{
+		{Workload: "w", Impl: "A"}: result("A", 100),
+	}
+	new := map[timingKey]bench.JSONResult{
+		{Workload: "w", Impl: "A"}: result("A", 110), // exactly +10%
+	}
+	if _, regressed, _ := computeDiff(old, new, 0.10); len(regressed) != 0 {
+		t.Errorf("exactly-at-threshold flagged as regression: %+v", regressed)
+	}
+}
+
+func TestLoadFileAndDirectory(t *testing.T) {
+	dir := t.TempDir()
+	f := bench.JSONFile{
+		Workload: "bankmt",
+		GitRev:   "abc1234",
+		Results:  []bench.JSONResult{result("ThinLock", 100), result("JDK111", 400)},
+	}
+	data, err := json.Marshal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "bench_bankmt.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, arg := range []string{path, dir} {
+		files, err := load(arg)
+		if err != nil {
+			t.Fatalf("load(%s): %v", arg, err)
+		}
+		if len(files) != 1 || files[0].Workload != "bankmt" || len(files[0].Results) != 2 {
+			t.Fatalf("load(%s) = %+v", arg, files)
+		}
+	}
+	idx := index([]bench.JSONFile{f})
+	if r, ok := idx[timingKey{Workload: "bankmt", Impl: "JDK111"}]; !ok || r.NsPerOp != 400 {
+		t.Errorf("index missing bankmt/JDK111: %+v", idx)
+	}
+
+	// A directory with no bench files and a malformed file both error.
+	if _, err := load(t.TempDir()); err == nil {
+		t.Error("empty directory loaded without error")
+	}
+	bad := filepath.Join(dir, "bench_bad.json")
+	if err := os.WriteFile(bad, []byte(`{"no":"workload"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := load(bad); err == nil {
+		t.Error("file without workload field loaded without error")
+	}
+}

@@ -1,17 +1,34 @@
 // Command lockmon runs a workload with the always-on telemetry layer
-// enabled and reports what the locks did: live counter rates, an
-// expvar-style JSON snapshot, a Prometheus text-format snapshot, and a
-// Chrome trace-event file loadable in ui.perfetto.dev.
+// and the site-attributed contention profiler enabled, and reports what
+// the locks did: live counter rates, a top-N hot-lock report, an
+// expvar-style JSON snapshot, a Prometheus text-format snapshot, a
+// pprof contention profile, and a Chrome trace-event file loadable in
+// ui.perfetto.dev.
 //
 // Usage:
 //
 //	lockmon -list
 //	lockmon [-workload name] [-impl name] [-size N] [-live] [-interval D]
-//	        [-json file] [-prom file] [-trace file]
+//	        [-json file] [-prom file] [-trace file] [-pprof file]
+//	        [-top N] [-prof-rate N] [-repeat N]
+//	        [-serve addr] [-hold D]
 //
 // Output files use "-" for stdout. The trace wraps the locker in the
 // locktrace recorder, which serializes events through a mutex; leave it
 // off when the counters alone are wanted.
+//
+// With -serve, lockmon binds addr (e.g. :8080, or 127.0.0.1:0 for an
+// ephemeral port), prints the bound address, and exposes the live
+// observability endpoints while the workload runs:
+//
+//	/metrics                     Prometheus text (telemetry + lockprof)
+//	/debug/vars                  merged JSON snapshot
+//	/debug/lockprof/top          top-N hot locks
+//	/debug/pprof/lockcontention  pprof contention profile
+//
+// -repeat reruns the workload to lengthen the observation window, and
+// -hold keeps the server up after the last run so scrapers can collect
+// the final state.
 package main
 
 import (
@@ -19,12 +36,15 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"time"
 
 	"thinlock/internal/bench"
 	"thinlock/internal/jcl"
 	"thinlock/internal/lockapi"
+	"thinlock/internal/lockprof"
 	"thinlock/internal/locktrace"
 	"thinlock/internal/object"
 	"thinlock/internal/telemetry"
@@ -42,6 +62,12 @@ func main() {
 	jsonOut := flag.String("json", "", "write expvar-style JSON snapshot to this file (- for stdout)")
 	promOut := flag.String("prom", "", "write Prometheus text-format snapshot to this file (- for stdout)")
 	traceOut := flag.String("trace", "", "write Chrome trace-event JSON to this file (- for stdout)")
+	pprofOut := flag.String("pprof", "", "write pprof contention profile (gzip protobuf) to this file (- for stdout)")
+	topN := flag.Int("top", 10, "print the top-N hot lock sites/objects after the run (0 disables)")
+	profRate := flag.Int("prof-rate", 0, "profiler sampling interval: sample 1 in N slow-path entries (0 = default)")
+	repeat := flag.Int("repeat", 1, "run the workload this many times")
+	serve := flag.String("serve", "", "serve live observability HTTP endpoints on this address (e.g. :8080 or 127.0.0.1:0)")
+	hold := flag.Duration("hold", 0, "with -serve, keep serving this long after the last run")
 	flag.Parse()
 
 	fail := func(format string, args ...any) {
@@ -78,6 +104,9 @@ func main() {
 	if n <= 0 {
 		n = w.DefaultSize
 	}
+	if *repeat < 1 {
+		*repeat = 1
+	}
 
 	var locker lockapi.Locker = f.New()
 	var tracer *locktrace.Tracer
@@ -88,6 +117,25 @@ func main() {
 
 	m := telemetry.Enable(telemetry.New())
 	defer telemetry.Disable()
+	prof := lockprof.Enable(lockprof.New(lockprof.Config{SampleEvery: *profRate}))
+	defer lockprof.Disable()
+
+	if *serve != "" {
+		ln, err := net.Listen("tcp", *serve)
+		if err != nil {
+			fail("serve: %v", err)
+		}
+		// Printed on its own line so scripts can scrape the bound address
+		// (useful with an ephemeral :0 port).
+		fmt.Printf("lockmon: serving on http://%s\n", ln.Addr())
+		srv := &http.Server{Handler: lockprof.Handler()}
+		go func() {
+			if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintf(os.Stderr, "lockmon: serve: %v\n", err)
+			}
+		}()
+		defer srv.Close()
+	}
 
 	ctx := jcl.NewContext(locker, object.NewHeap())
 	reg := threading.NewRegistry()
@@ -118,7 +166,10 @@ func main() {
 	}
 
 	start := time.Now()
-	sum := w.Run(ctx, th, n)
+	var sum uint64
+	for i := 0; i < *repeat; i++ {
+		sum = w.Run(ctx, th, n)
+	}
 	elapsed := time.Since(start)
 
 	close(stopLive)
@@ -127,8 +178,16 @@ func main() {
 	}
 
 	snap := m.Snapshot()
-	fmt.Printf("%s / %s size=%d: checksum=%#x elapsed=%v\n", w.Name, f.Name, n, sum, elapsed)
+	fmt.Printf("%s / %s size=%d runs=%d: checksum=%#x elapsed=%v\n", w.Name, f.Name, n, *repeat, sum, elapsed)
 	fmt.Print(snap.String())
+
+	psnap := prof.Snapshot()
+	if *topN > 0 {
+		fmt.Println()
+		if err := psnap.WriteTop(os.Stdout, *topN); err != nil {
+			fail("top: %v", err)
+		}
+	}
 
 	if *jsonOut != "" {
 		if err := writeTo(*jsonOut, snap.WriteJSON); err != nil {
@@ -143,6 +202,12 @@ func main() {
 			fail("prom: %v", err)
 		}
 	}
+	if *pprofOut != "" {
+		if err := writeTo(*pprofOut, psnap.WritePprof); err != nil {
+			fail("pprof: %v", err)
+		}
+		fmt.Printf("pprof: %d sites (inspect with `go tool pprof -top %s`)\n", len(psnap.Sites), *pprofOut)
+	}
 	if *traceOut != "" {
 		events := tracer.Events()
 		if err := writeTo(*traceOut, func(w io.Writer) error {
@@ -154,6 +219,11 @@ func main() {
 			fail("trace self-check: %v", err)
 		}
 		fmt.Printf("trace: %d events (load in ui.perfetto.dev)\n", len(events))
+	}
+
+	if *serve != "" && *hold > 0 {
+		fmt.Printf("lockmon: holding server for %v\n", *hold)
+		time.Sleep(*hold)
 	}
 }
 

@@ -32,6 +32,8 @@ func main() {
 	space := flag.Bool("space", false, "print the lock-storage footprint comparison and exit")
 	withTelemetry := flag.Bool("telemetry", false, "record lock telemetry during the Figure 5 run and write per-workload snapshots to -telemetry-dir")
 	telemetryDir := flag.String("telemetry-dir", "results", "directory for -telemetry snapshot JSON files")
+	jsonOut := flag.Bool("json", false, "write machine-readable timings to -json-dir/bench_<workload>.json (compare runs with cmd/benchdiff)")
+	jsonDir := flag.String("json-dir", "results", "directory for -json result files")
 	verbose := flag.Bool("v", false, "print progress")
 	flag.Parse()
 
@@ -138,6 +140,27 @@ func main() {
 			fmt.Fprintln(os.Stderr, "telemetry:", path)
 		}
 	}
+	if *jsonOut {
+		sizeOf := func(name string) int {
+			w, ok := workloads.ByName(name)
+			if !ok {
+				return 0
+			}
+			size := int(float64(w.DefaultSize) * *scale)
+			if size < 1 {
+				size = 1
+			}
+			return size
+		}
+		paths, err := bench.WriteJSONResults(*jsonDir, rs, *samples, sizeOf)
+		if err != nil {
+			fail(err)
+		}
+		for _, p := range paths {
+			fmt.Fprintln(os.Stderr, "json:", p)
+		}
+	}
+
 	fmt.Print(bench.FormatMacroTable(rs, "Figure 5 raw times"))
 	fmt.Println()
 	fmt.Print(bench.FormatSpeedups(rs, "JDK111", "Figure 5"))

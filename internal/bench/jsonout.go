@@ -1,0 +1,111 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+)
+
+// JSONResult is one (implementation, parameter) timing inside a bench
+// JSON file.
+type JSONResult struct {
+	Impl      string  `json:"impl"`
+	Param     int     `json:"param,omitempty"`
+	NsPerOp   float64 `json:"ns_per_op"`
+	ElapsedNs int64   `json:"elapsed_ns"`
+	Ops       int64   `json:"ops"`
+}
+
+// JSONFile is the schema of results/bench_<workload>.json: every
+// implementation's timing for one workload plus enough metadata to make
+// two files comparable (cmd/benchdiff refuses nothing — it matches on
+// workload/impl/param — but records the provenance it finds here).
+type JSONFile struct {
+	Workload  string       `json:"workload"`
+	Size      int          `json:"size,omitempty"`
+	Samples   int          `json:"samples,omitempty"`
+	GitRev    string       `json:"git_rev,omitempty"`
+	Timestamp string       `json:"timestamp,omitempty"`
+	Results   []JSONResult `json:"results"`
+}
+
+// GitRev returns the current short commit hash, or "" when the tree is
+// not a git checkout (results stay usable either way).
+func GitRev() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// JSONFiles groups a result set into per-workload JSON documents,
+// sorted by workload then implementation for stable output.
+func JSONFiles(rs *ResultSet, samples int, sizeOf func(workload string) int) []JSONFile {
+	byWorkload := make(map[string]*JSONFile)
+	var order []string
+	rev := GitRev()
+	now := time.Now().UTC().Format(time.RFC3339)
+	for _, r := range rs.Results {
+		f, ok := byWorkload[r.Benchmark]
+		if !ok {
+			f = &JSONFile{
+				Workload:  r.Benchmark,
+				Samples:   samples,
+				GitRev:    rev,
+				Timestamp: now,
+			}
+			if sizeOf != nil {
+				f.Size = sizeOf(r.Benchmark)
+			}
+			byWorkload[r.Benchmark] = f
+			order = append(order, r.Benchmark)
+		}
+		f.Results = append(f.Results, JSONResult{
+			Impl:      r.Impl,
+			Param:     r.Param,
+			NsPerOp:   r.NsPerOp(),
+			ElapsedNs: r.Elapsed.Nanoseconds(),
+			Ops:       r.Ops,
+		})
+	}
+	sort.Strings(order)
+	out := make([]JSONFile, 0, len(order))
+	for _, name := range order {
+		f := byWorkload[name]
+		sort.Slice(f.Results, func(i, j int) bool {
+			if f.Results[i].Impl != f.Results[j].Impl {
+				return f.Results[i].Impl < f.Results[j].Impl
+			}
+			return f.Results[i].Param < f.Results[j].Param
+		})
+		out = append(out, *f)
+	}
+	return out
+}
+
+// WriteJSONResults writes one bench_<workload>.json per workload in rs
+// into dir (created if absent) and returns the paths written.
+func WriteJSONResults(dir string, rs *ResultSet, samples int, sizeOf func(workload string) int) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	var paths []string
+	for _, f := range JSONFiles(rs, samples, sizeOf) {
+		data, err := json.MarshalIndent(f, "", "  ")
+		if err != nil {
+			return nil, err
+		}
+		path := filepath.Join(dir, fmt.Sprintf("bench_%s.json", f.Workload))
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			return nil, err
+		}
+		paths = append(paths, path)
+	}
+	return paths, nil
+}

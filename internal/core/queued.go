@@ -4,6 +4,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"thinlock/internal/lockprof"
 	"thinlock/internal/object"
 	"thinlock/internal/telemetry"
 	"thinlock/internal/threading"
@@ -93,7 +94,6 @@ func (ft *flcTable) queueLen() int {
 // queueWait blocks t until o's thin lock is released (or briefly, on any
 // wake). Returns immediately if the lock is observed free or inflated.
 func (l *ThinLocks) queueWait(t *threading.Thread, o *object.Object) {
-	_ = t // the waiter's identity is immaterial; channels carry the wake
 	q := l.flc.get(o.ID())
 
 	// Publish contention before re-checking the lock word (store→load
@@ -119,14 +119,24 @@ func (l *ThinLocks) queueWait(t *threading.Thread, o *object.Object) {
 	q.mu.Unlock()
 
 	l.queuedParks.Add(1)
-	if m := telemetry.Active(); m != nil {
-		m.Inc(t, telemetry.CtrQueuedParks)
-		start := telemetry.Now()
+	m := telemetry.Active()
+	p := lockprof.Active()
+	if m == nil && p == nil {
 		<-ch
-		m.Observe(t, telemetry.HistMonitorStallNs, telemetry.Now()-start)
 		return
 	}
+	if m != nil {
+		m.Inc(t, telemetry.CtrQueuedParks)
+	}
+	start := telemetry.Now()
 	<-ch
+	parked := telemetry.Now() - start
+	if m != nil {
+		m.Observe(t, telemetry.HistMonitorStallNs, parked)
+	}
+	if p != nil {
+		p.Park(t, parked)
+	}
 }
 
 // wakeQueued clears the flc bit and releases every parked contender.

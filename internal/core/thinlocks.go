@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"thinlock/internal/arch"
+	"thinlock/internal/lockprof"
 	"thinlock/internal/monitor"
 	"thinlock/internal/object"
 	"thinlock/internal/telemetry"
@@ -273,17 +274,31 @@ func (l *ThinLocks) lockFast(t *threading.Thread, o *object.Object, cpu arch.CPU
 
 // lockSlow handles every case except an initial lock of an unlocked
 // object: nested locking, locking an inflated object, count overflow,
-// and contention (§2.3.3–§2.3.4). The telemetry wrapper lives here, off
-// the fast path: when disabled it is one atomic load and a branch.
+// and contention (§2.3.3–§2.3.4). The telemetry and lockprof wrappers
+// live here, off the fast path: when both are disabled the cost is two
+// atomic loads and a branch.
 func (l *ThinLocks) lockSlow(t *threading.Thread, o *object.Object, cpu arch.CPU, fence bool) {
-	if m := telemetry.Active(); m != nil {
-		m.Inc(t, telemetry.CtrSlowPathEntries)
-		start := telemetry.Now()
+	m := telemetry.Active()
+	p := lockprof.Active()
+	if m == nil && p == nil {
 		l.lockSlowBody(t, o, cpu, fence)
-		m.Observe(t, telemetry.HistAcquireSlowNs, telemetry.Now()-start)
 		return
 	}
+	if m != nil {
+		m.Inc(t, telemetry.CtrSlowPathEntries)
+	}
+	if p != nil {
+		p.SlowPathEnter(t, o)
+	}
+	start := telemetry.Now()
 	l.lockSlowBody(t, o, cpu, fence)
+	elapsed := telemetry.Now() - start
+	if m != nil {
+		m.Observe(t, telemetry.HistAcquireSlowNs, elapsed)
+	}
+	if p != nil {
+		p.SlowPathExit(t, o, elapsed)
+	}
 }
 
 // lockSlowBody is the slow-path state machine proper.
@@ -320,6 +335,7 @@ func (l *ThinLocks) lockSlowBody(t *threading.Thread, o *object.Object, cpu arch
 			// With the paper's 8-bit field this is the 257th lock.
 			l.inflOverflow.Add(1)
 			telemetry.Inc(t, telemetry.CtrInflationsOverflow)
+			lockprof.Inflation(t, o, lockprof.CauseOverflow)
 			locks := l.maxCount + 2
 			if l.mut.OverflowOffByOne {
 				locks-- // seeded bug: one recursion level lost
@@ -338,6 +354,7 @@ func (l *ThinLocks) lockSlowBody(t *threading.Thread, o *object.Object, cpu arch
 					l.spinAcq.Add(1)
 					l.inflContention.Add(1)
 					telemetry.Inc(t, telemetry.CtrInflationsContention)
+					lockprof.Inflation(t, o, lockprof.CauseContention)
 					l.inflate(t, o, 1)
 				}
 				if fence {
@@ -346,6 +363,7 @@ func (l *ThinLocks) lockSlowBody(t *threading.Thread, o *object.Object, cpu arch
 				return
 			}
 			telemetry.Inc(t, telemetry.CtrCASFailures)
+			lockprof.CASFailure(t)
 
 		default:
 			// Thin-locked by another thread. Our discipline forbids
@@ -469,6 +487,7 @@ func unlockFn(l *ThinLocks, t *threading.Thread, o *object.Object) error {
 
 // unlockSlow handles nested thin unlocks, fat unlocks, and errors.
 func (l *ThinLocks) unlockSlow(t *threading.Thread, o *object.Object, fence, useCAS bool) error {
+	lockprof.UnlockSlow(t, o)
 	hp := o.HeaderAddr()
 	w := atomic.LoadUint32(hp)
 	x := w ^ t.Shifted()
@@ -527,6 +546,7 @@ func (l *ThinLocks) Wait(t *threading.Thread, o *object.Object, d time.Duration)
 	if w&TIDMask == t.Shifted() {
 		l.inflWait.Add(1)
 		telemetry.Inc(t, telemetry.CtrInflationsWait)
+		lockprof.Inflation(t, o, lockprof.CauseWait)
 		m := l.inflate(t, o, ThinCount(w)+1)
 		return m.Wait(t, d)
 	}

@@ -25,6 +25,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"thinlock/internal/lockprof"
 	"thinlock/internal/monitor"
 	"thinlock/internal/object"
 	"thinlock/internal/telemetry"
@@ -222,8 +223,22 @@ func (h *HotLocks) unpin(e *coldEntry) {
 	h.mu.Unlock()
 }
 
-// Lock implements lockapi.Locker.
+// Lock implements lockapi.Locker. Like JDK111, every IBM112 acquisition
+// routes through a monitor (hot slot or cold cache) — there is no
+// header-only fast path — so the whole operation is reported to the
+// contention profiler.
 func (h *HotLocks) Lock(t *threading.Thread, o *object.Object) {
+	if p := lockprof.Active(); p != nil {
+		p.SlowPathEnter(t, o)
+		start := telemetry.Now()
+		h.lockBody(t, o)
+		p.SlowPathExit(t, o, telemetry.Now()-start)
+		return
+	}
+	h.lockBody(t, o)
+}
+
+func (h *HotLocks) lockBody(t *threading.Thread, o *object.Object) {
 	w := o.Header()
 	if w&hotBit != 0 {
 		h.hot(t, w).Enter(t)
@@ -249,6 +264,7 @@ func (h *HotLocks) Lock(t *threading.Thread, o *object.Object) {
 
 // Unlock implements lockapi.Locker.
 func (h *HotLocks) Unlock(t *threading.Thread, o *object.Object) error {
+	lockprof.UnlockSlow(t, o)
 	w := o.Header()
 	if w&hotBit != 0 {
 		return h.hot(t, w).Exit(t)

@@ -1,0 +1,191 @@
+package lockprof_test
+
+// Overhead contract for the contention profiler (see the lockprof
+// package comment): with the profiler disabled, no lock path may
+// allocate and the uncontended lock/unlock cycle must not regress
+// measurably (the fast path has no hook sites at all; the slow path
+// pays one atomic pointer load). With the profiler enabled, only
+// sampled slow-path entries may allocate (the first visit to a site or
+// object inserts a record), and a steady-state sampled slow path is
+// allocation-free.
+
+import (
+	"sort"
+	"testing"
+	"time"
+
+	"thinlock/internal/core"
+	"thinlock/internal/lockprof"
+	"thinlock/internal/object"
+	"thinlock/internal/telemetry"
+	"thinlock/internal/threading"
+)
+
+type lockFixture struct {
+	l    *core.ThinLocks
+	heap *object.Heap
+	th   *threading.Thread
+	o    *object.Object
+}
+
+func newLockFixture(t testing.TB) *lockFixture {
+	t.Helper()
+	f := &lockFixture{l: core.NewDefault(), heap: object.NewHeap()}
+	reg := threading.NewRegistry()
+	th, err := reg.Attach("bench")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.th = th
+	f.o = f.heap.New("Object")
+	return f
+}
+
+// Not parallel: owns the global profiler registration.
+func TestDisabledProfilerDoesNotAllocate(t *testing.T) {
+	lockprof.Disable()
+	telemetry.Disable()
+	f := newLockFixture(t)
+	if allocs := testing.AllocsPerRun(100, func() {
+		f.l.Lock(f.th, f.o)
+		if err := f.l.Unlock(f.th, f.o); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("disabled fast path allocates %.1f objects per op", allocs)
+	}
+	// Nested acquisition drives the slow path through every lockprof
+	// hook site in its disabled state.
+	if allocs := testing.AllocsPerRun(100, func() {
+		f.l.Lock(f.th, f.o)
+		f.l.Lock(f.th, f.o)
+		f.l.Unlock(f.th, f.o)
+		f.l.Unlock(f.th, f.o)
+	}); allocs != 0 {
+		t.Errorf("disabled slow path allocates %.1f objects per op", allocs)
+	}
+}
+
+// Not parallel: owns the global profiler registration.
+func TestEnabledSteadyStateSlowPathDoesNotAllocate(t *testing.T) {
+	p := lockprof.Enable(lockprof.New(lockprof.Config{SampleEvery: 1}))
+	defer lockprof.Disable()
+	f := newLockFixture(t)
+	// First pass inserts the site and object records.
+	f.l.Lock(f.th, f.o)
+	f.l.Lock(f.th, f.o)
+	f.l.Unlock(f.th, f.o)
+	f.l.Unlock(f.th, f.o)
+	if allocs := testing.AllocsPerRun(100, func() {
+		f.l.Lock(f.th, f.o)
+		f.l.Lock(f.th, f.o)
+		f.l.Unlock(f.th, f.o)
+		f.l.Unlock(f.th, f.o)
+	}); allocs != 0 {
+		t.Errorf("enabled steady-state slow path allocates %.1f objects per op", allocs)
+	}
+	snap := p.Snapshot()
+	if len(snap.Sites) == 0 || snap.Sites[0].SlowEntries == 0 {
+		t.Fatal("profiler recorded nothing (test measured the wrong path)")
+	}
+}
+
+// medianCycle times reps uncontended lock/unlock cycles and returns the
+// median of samples runs, which is robust against scheduler noise.
+func medianCycle(f *lockFixture, samples, reps int) time.Duration {
+	ds := make([]time.Duration, 0, samples)
+	for s := 0; s < samples; s++ {
+		start := time.Now()
+		for i := 0; i < reps; i++ {
+			f.l.Lock(f.th, f.o)
+			f.l.Unlock(f.th, f.o)
+		}
+		ds = append(ds, time.Since(start))
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	return ds[len(ds)/2]
+}
+
+// TestDisabledProfilerOverheadIsBounded checks the acceptance bound:
+// with the profiler merely compiled in but disabled, the uncontended
+// lock/unlock cycle must stay within budget of itself — the fast path
+// carries no hook, so the true ratio is ~1.0 and the issue's < 5%
+// requirement holds by construction. The assertion allows 2x so CI
+// scheduling jitter cannot flake; the precise number is reported by
+// BenchmarkUncontendedLockUnlock. Enabling the profiler must also not
+// slow the uncontended cycle (it only hooks slow paths). Not parallel:
+// owns the global profiler registration and times itself.
+func TestDisabledProfilerOverheadIsBounded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	f := newLockFixture(t)
+	const samples, reps = 9, 20000
+	lockprof.Disable()
+	telemetry.Disable()
+	medianCycle(f, 3, reps) // warm up
+	base := medianCycle(f, samples, reps)
+	lockprof.Enable(lockprof.New(lockprof.Config{}))
+	defer lockprof.Disable()
+	on := medianCycle(f, samples, reps)
+	if base > 0 && float64(on) > 2*float64(base) {
+		t.Errorf("enabled profiler slowed uncontended cycle %.2fx (off=%v on=%v)",
+			float64(on)/float64(base), base, on)
+	}
+}
+
+// BenchmarkUncontendedLockUnlock/Disabled vs /Enabled is the precise
+// measurement behind the < 5% fast-path bound:
+//
+//	go test -bench UncontendedLockUnlock -benchmem ./internal/lockprof/
+func BenchmarkUncontendedLockUnlock(b *testing.B) {
+	run := func(b *testing.B) {
+		f := newLockFixture(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			f.l.Lock(f.th, f.o)
+			f.l.Unlock(f.th, f.o)
+		}
+	}
+	b.Run("Disabled", func(b *testing.B) {
+		lockprof.Disable()
+		run(b)
+	})
+	b.Run("Enabled", func(b *testing.B) {
+		lockprof.Enable(lockprof.New(lockprof.Config{}))
+		defer lockprof.Disable()
+		run(b)
+	})
+}
+
+// BenchmarkNestedLockUnlock measures the slow path, where the hooks
+// actually live — Enabled pays the sampling counter on every entry and
+// a stack capture on sampled ones.
+func BenchmarkNestedLockUnlock(b *testing.B) {
+	run := func(b *testing.B) {
+		f := newLockFixture(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			f.l.Lock(f.th, f.o)
+			f.l.Lock(f.th, f.o)
+			f.l.Unlock(f.th, f.o)
+			f.l.Unlock(f.th, f.o)
+		}
+	}
+	b.Run("Disabled", func(b *testing.B) {
+		lockprof.Disable()
+		run(b)
+	})
+	b.Run("Sampled1in8", func(b *testing.B) {
+		lockprof.Enable(lockprof.New(lockprof.Config{SampleEvery: 8}))
+		defer lockprof.Disable()
+		run(b)
+	})
+	b.Run("SampledEvery", func(b *testing.B) {
+		lockprof.Enable(lockprof.New(lockprof.Config{SampleEvery: 1}))
+		defer lockprof.Disable()
+		run(b)
+	})
+}

@@ -1,0 +1,201 @@
+package lockprof
+
+import (
+	"compress/gzip"
+	"io"
+)
+
+// WritePprof writes the snapshot as a gzip-compressed pprof
+// profile.proto contention profile, the same shape as Go's runtime
+// mutex profile: two sample values per lock site —
+//
+//	contentions/count  (sampled slow-path entries)
+//	delay/nanoseconds  (accumulated slow-path latency)
+//
+// — with each site's symbolized stack as the sample's location chain,
+// leaf first. VM sites become a single synthetic frame whose filename
+// is "<minijava>" and whose line is the bytecode pc. The profile's
+// period records the sampling interval so pprof tooling can scale
+// counts. The output is accepted by `go tool pprof`.
+func (s *Snapshot) WritePprof(w io.Writer) error {
+	zw := gzip.NewWriter(w)
+	if _, err := zw.Write(s.marshalPprof()); err != nil {
+		zw.Close()
+		return err
+	}
+	return zw.Close()
+}
+
+// pprof profile.proto field numbers (github.com/google/pprof).
+const (
+	profSampleType   = 1  // repeated ValueType
+	profSample       = 2  // repeated Sample
+	profMapping      = 3  // repeated Mapping
+	profLocation     = 4  // repeated Location
+	profFunction     = 5  // repeated Function
+	profStringTable  = 6  // repeated string
+	profTimeNanos    = 9  // int64
+	profDurationNano = 10 // int64
+	profPeriodType   = 11 // ValueType
+	profPeriod       = 12 // int64
+
+	vtType = 1 // ValueType.type (string index)
+	vtUnit = 2 // ValueType.unit (string index)
+
+	sampleLocationID = 1 // Sample.location_id, packed uint64
+	sampleValue      = 2 // Sample.value, packed int64
+
+	mapID          = 1 // Mapping.id
+	mapMemoryStart = 2
+	mapMemoryLimit = 3
+	mapFilename    = 5 // string index
+
+	locID        = 1 // Location.id
+	locMappingID = 2
+	locAddress   = 3
+	locLine      = 4 // repeated Line
+
+	lineFunctionID = 1
+	lineLine       = 2
+
+	funcID         = 1
+	funcName       = 2 // string index
+	funcSystemName = 3 // string index
+	funcFilename   = 4 // string index
+	funcStartLine  = 5
+)
+
+// marshalPprof encodes the uncompressed profile message.
+func (s *Snapshot) marshalPprof() []byte {
+	var b protoBuf
+
+	// String table: index 0 must be "".
+	strings := []string{""}
+	strIndex := map[string]int64{"": 0}
+	str := func(v string) int64 {
+		if i, ok := strIndex[v]; ok {
+			return i
+		}
+		i := int64(len(strings))
+		strings = append(strings, v)
+		strIndex[v] = i
+		return i
+	}
+
+	contentions := str("contentions")
+	count := str("count")
+	delay := str("delay")
+	nanoseconds := str("nanoseconds")
+
+	// sample_type: contentions/count, delay/nanoseconds.
+	for _, vt := range [][2]int64{{contentions, count}, {delay, nanoseconds}} {
+		vt := vt
+		b.messageField(profSampleType, func(m *protoBuf) {
+			m.int64Field(vtType, vt[0])
+			m.int64Field(vtUnit, vt[1])
+		})
+	}
+
+	// Functions and locations are deduplicated across sites by
+	// (name, filename, line). Location addresses are synthetic (pprof
+	// requires them only to be consistent), carved from a fake mapping.
+	type funcKey struct {
+		name, file string
+	}
+	type locKey struct {
+		fn   funcKey
+		line int
+	}
+	funcIDs := map[funcKey]uint64{}
+	locIDs := map[locKey]uint64{}
+	var funcs []funcKey
+	var locs []locKey
+
+	funcOf := func(name, file string) uint64 {
+		k := funcKey{name, file}
+		if id, ok := funcIDs[k]; ok {
+			return id
+		}
+		id := uint64(len(funcs) + 1)
+		funcIDs[k] = id
+		funcs = append(funcs, k)
+		return id
+	}
+	locOf := func(name, file string, line int) uint64 {
+		k := locKey{funcKey{name, file}, line}
+		if id, ok := locIDs[k]; ok {
+			return id
+		}
+		funcOf(name, file)
+		id := uint64(len(locs) + 1)
+		locIDs[k] = id
+		locs = append(locs, k)
+		return id
+	}
+
+	// Samples: one per site with nonzero counts.
+	for _, st := range s.Sites {
+		if st.SlowEntries == 0 && st.DelayNs == 0 {
+			continue
+		}
+		var locationIDs []uint64
+		for _, f := range st.Frames {
+			locationIDs = append(locationIDs, locOf(f.Func, f.File, f.Line))
+		}
+		if len(locationIDs) == 0 {
+			locationIDs = append(locationIDs, locOf("(unknown site)", "", 0))
+		}
+		values := []int64{int64(st.SlowEntries), int64(st.DelayNs)}
+		b.messageField(profSample, func(m *protoBuf) {
+			m.packedUint64s(sampleLocationID, locationIDs)
+			m.packedInt64s(sampleValue, values)
+		})
+	}
+
+	// One synthetic mapping covering the fake address space.
+	const mappingBase = 0x1000
+	b.messageField(profMapping, func(m *protoBuf) {
+		m.uint64Field(mapID, 1)
+		m.uint64Field(mapMemoryStart, mappingBase)
+		m.uint64Field(mapMemoryLimit, mappingBase+uint64(len(locs)+1))
+		m.int64Field(mapFilename, str("thinlock"))
+	})
+
+	for i, k := range locs {
+		id := uint64(i + 1)
+		k := k
+		b.messageField(profLocation, func(m *protoBuf) {
+			m.uint64Field(locID, id)
+			m.uint64Field(locMappingID, 1)
+			m.uint64Field(locAddress, mappingBase+id)
+			m.messageField(locLine, func(l *protoBuf) {
+				l.uint64Field(lineFunctionID, funcIDs[k.fn])
+				l.int64Field(lineLine, int64(k.line))
+			})
+		})
+	}
+
+	for i, k := range funcs {
+		id := uint64(i + 1)
+		k := k
+		b.messageField(profFunction, func(m *protoBuf) {
+			m.uint64Field(funcID, id)
+			m.int64Field(funcName, str(k.name))
+			m.int64Field(funcSystemName, str(k.name))
+			m.int64Field(funcFilename, str(k.file))
+		})
+	}
+
+	for _, v := range strings {
+		b.bytesField(profStringTable, []byte(v))
+	}
+
+	b.int64Field(profDurationNano, s.DurationNs)
+	b.messageField(profPeriodType, func(m *protoBuf) {
+		m.int64Field(vtType, contentions)
+		m.int64Field(vtUnit, count)
+	})
+	b.int64Field(profPeriod, int64(s.SampleEvery))
+
+	return b.data
+}

@@ -1,0 +1,354 @@
+package lockprof_test
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"testing"
+
+	"thinlock/internal/lockprof"
+)
+
+// rawProfile is the subset of profile.proto this test decodes back out
+// of the encoder: enough to prove the wire format is well-formed and
+// the contention data round-trips.
+type rawProfile struct {
+	sampleTypes [][2]int64 // (type, unit) string indices
+	samples     []rawSample
+	locations   map[uint64]rawLocation
+	functions   map[uint64]rawFunction
+	strings     []string
+	period      int64
+	periodType  [2]int64
+	duration    int64
+}
+
+type rawSample struct {
+	locationIDs []uint64
+	values      []int64
+}
+
+type rawLocation struct {
+	id         uint64
+	functionID uint64
+	line       int64
+}
+
+type rawFunction struct {
+	id             uint64
+	name, filename int64
+}
+
+// wire is a minimal protobuf wire-format reader.
+type wire struct {
+	data []byte
+	pos  int
+	err  error
+}
+
+func (r *wire) done() bool { return r.err != nil || r.pos >= len(r.data) }
+
+func (r *wire) varint() uint64 {
+	var v uint64
+	for shift := 0; ; shift += 7 {
+		if r.pos >= len(r.data) || shift > 63 {
+			r.err = fmt.Errorf("truncated varint at %d", r.pos)
+			return 0
+		}
+		b := r.data[r.pos]
+		r.pos++
+		v |= uint64(b&0x7f) << shift
+		if b < 0x80 {
+			return v
+		}
+	}
+}
+
+func (r *wire) field() (num int, wt int) {
+	tag := r.varint()
+	return int(tag >> 3), int(tag & 7)
+}
+
+func (r *wire) bytes() []byte {
+	n := r.varint()
+	if r.err != nil || r.pos+int(n) > len(r.data) {
+		r.err = fmt.Errorf("truncated bytes field at %d", r.pos)
+		return nil
+	}
+	b := r.data[r.pos : r.pos+int(n)]
+	r.pos += int(n)
+	return b
+}
+
+func (r *wire) skip(wt int) {
+	switch wt {
+	case 0:
+		r.varint()
+	case 2:
+		r.bytes()
+	case 5:
+		r.pos += 4
+	case 1:
+		r.pos += 8
+	default:
+		r.err = fmt.Errorf("unsupported wire type %d", wt)
+	}
+}
+
+func packedUints(data []byte) []uint64 {
+	r := &wire{data: data}
+	var out []uint64
+	for !r.done() {
+		out = append(out, r.varint())
+	}
+	return out
+}
+
+func parseProfile(t *testing.T, data []byte) *rawProfile {
+	t.Helper()
+	p := &rawProfile{
+		locations: map[uint64]rawLocation{},
+		functions: map[uint64]rawFunction{},
+	}
+	r := &wire{data: data}
+	for !r.done() {
+		num, wt := r.field()
+		switch num {
+		case 1: // sample_type
+			vt := &wire{data: r.bytes()}
+			var st [2]int64
+			for !vt.done() {
+				n, w := vt.field()
+				switch n {
+				case 1:
+					st[0] = int64(vt.varint())
+				case 2:
+					st[1] = int64(vt.varint())
+				default:
+					vt.skip(w)
+				}
+			}
+			p.sampleTypes = append(p.sampleTypes, st)
+		case 2: // sample
+			sm := &wire{data: r.bytes()}
+			var s rawSample
+			for !sm.done() {
+				n, w := sm.field()
+				switch n {
+				case 1:
+					s.locationIDs = packedUints(sm.bytes())
+				case 2:
+					for _, v := range packedUints(sm.bytes()) {
+						s.values = append(s.values, int64(v))
+					}
+				default:
+					sm.skip(w)
+				}
+			}
+			p.samples = append(p.samples, s)
+		case 4: // location
+			lm := &wire{data: r.bytes()}
+			var loc rawLocation
+			for !lm.done() {
+				n, w := lm.field()
+				switch n {
+				case 1:
+					loc.id = lm.varint()
+				case 4: // line message
+					ln := &wire{data: lm.bytes()}
+					for !ln.done() {
+						n2, w2 := ln.field()
+						switch n2 {
+						case 1:
+							loc.functionID = ln.varint()
+						case 2:
+							loc.line = int64(ln.varint())
+						default:
+							ln.skip(w2)
+						}
+					}
+				default:
+					lm.skip(w)
+				}
+			}
+			p.locations[loc.id] = loc
+		case 5: // function
+			fm := &wire{data: r.bytes()}
+			var fn rawFunction
+			for !fm.done() {
+				n, w := fm.field()
+				switch n {
+				case 1:
+					fn.id = fm.varint()
+				case 2:
+					fn.name = int64(fm.varint())
+				case 4:
+					fn.filename = int64(fm.varint())
+				default:
+					fm.skip(w)
+				}
+			}
+			p.functions[fn.id] = fn
+		case 6: // string_table
+			p.strings = append(p.strings, string(r.bytes()))
+		case 10:
+			p.duration = int64(r.varint())
+		case 11:
+			vt := &wire{data: r.bytes()}
+			for !vt.done() {
+				n, w := vt.field()
+				switch n {
+				case 1:
+					p.periodType[0] = int64(vt.varint())
+				case 2:
+					p.periodType[1] = int64(vt.varint())
+				default:
+					vt.skip(w)
+				}
+			}
+		case 12:
+			p.period = int64(r.varint())
+		default:
+			r.skip(wt)
+		}
+	}
+	if r.err != nil {
+		t.Fatalf("profile does not parse: %v", r.err)
+	}
+	return p
+}
+
+func TestPprofProfileRoundTrips(t *testing.T) {
+	prof, f := newProfiledFixture(t)
+	f.th.PublishFrame("Bank.transfer", 9)
+	for i := 0; i < 5; i++ {
+		f.l.Lock(f.th, f.o)
+		f.l.Lock(f.th, f.o)
+		f.l.Unlock(f.th, f.o)
+		f.l.Unlock(f.th, f.o)
+	}
+	f.th.ClearFrame()
+	snap := prof.Snapshot()
+
+	var buf bytes.Buffer
+	if err := snap.WritePprof(&buf); err != nil {
+		t.Fatal(err)
+	}
+	zr, err := gzip.NewReader(&buf)
+	if err != nil {
+		t.Fatalf("profile is not gzip: %v", err)
+	}
+	raw, err := io.ReadAll(zr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := parseProfile(t, raw)
+
+	if len(p.strings) == 0 || p.strings[0] != "" {
+		t.Fatal("string table must start with the empty string")
+	}
+	str := func(i int64) string {
+		if i < 0 || int(i) >= len(p.strings) {
+			t.Fatalf("string index %d out of range (%d strings)", i, len(p.strings))
+		}
+		return p.strings[i]
+	}
+
+	if len(p.sampleTypes) != 2 ||
+		str(p.sampleTypes[0][0]) != "contentions" || str(p.sampleTypes[0][1]) != "count" ||
+		str(p.sampleTypes[1][0]) != "delay" || str(p.sampleTypes[1][1]) != "nanoseconds" {
+		t.Fatalf("sample types = %v, want contentions/count + delay/nanoseconds", p.sampleTypes)
+	}
+	if str(p.periodType[0]) != "contentions" || p.period != int64(snap.SampleEvery) {
+		t.Errorf("period = %d/%s, want %d/contentions", p.period, str(p.periodType[0]), snap.SampleEvery)
+	}
+	if len(p.samples) != 1 {
+		t.Fatalf("samples = %d, want 1", len(p.samples))
+	}
+	s := p.samples[0]
+	if len(s.values) != 2 || s.values[0] != 5 {
+		t.Errorf("sample values = %v, want [5, <delay>]", s.values)
+	}
+	if len(s.locationIDs) != 1 {
+		t.Fatalf("locations per VM sample = %d, want 1", len(s.locationIDs))
+	}
+	loc, ok := p.locations[s.locationIDs[0]]
+	if !ok {
+		t.Fatalf("sample references unknown location %d", s.locationIDs[0])
+	}
+	fn, ok := p.functions[loc.functionID]
+	if !ok {
+		t.Fatalf("location references unknown function %d", loc.functionID)
+	}
+	if str(fn.name) != "Bank.transfer" || str(fn.filename) != "<minijava>" || loc.line != 9 {
+		t.Errorf("frame = %s (%s:%d), want Bank.transfer (<minijava>:9)",
+			str(fn.name), str(fn.filename), loc.line)
+	}
+}
+
+func TestPprofGoSitesHaveResolvedStacks(t *testing.T) {
+	prof, f := newProfiledFixture(t)
+	for i := 0; i < 3; i++ {
+		f.l.Lock(f.th, f.o)
+		f.l.Lock(f.th, f.o)
+		f.l.Unlock(f.th, f.o)
+		f.l.Unlock(f.th, f.o)
+	}
+	var buf bytes.Buffer
+	if err := prof.Snapshot().WritePprof(&buf); err != nil {
+		t.Fatal(err)
+	}
+	zr, err := gzip.NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(zr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := parseProfile(t, raw)
+	if len(p.samples) == 0 {
+		t.Fatal("no samples")
+	}
+	found := false
+	for _, s := range p.samples {
+		for _, id := range s.locationIDs {
+			loc, ok := p.locations[id]
+			if !ok {
+				t.Fatalf("unknown location %d", id)
+			}
+			fn, ok := p.functions[loc.functionID]
+			if !ok {
+				t.Fatalf("unknown function %d", loc.functionID)
+			}
+			name := p.strings[fn.name]
+			if name == "" {
+				t.Error("empty function name in stack")
+			}
+			if name == "thinlock/internal/lockprof_test.TestPprofGoSitesHaveResolvedStacks" {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("test frame absent from every sample stack")
+	}
+	// The empty-profile path must also produce a parseable file.
+	empty := lockprof.New(lockprof.Config{}).Snapshot()
+	buf.Reset()
+	if err := empty.WritePprof(&buf); err != nil {
+		t.Fatal(err)
+	}
+	zr2, err := gzip.NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw2, err := io.ReadAll(zr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ep := parseProfile(t, raw2); len(ep.samples) != 0 || len(ep.sampleTypes) != 2 {
+		t.Errorf("empty profile: %d samples, %d sample types", len(ep.samples), len(ep.sampleTypes))
+	}
+}

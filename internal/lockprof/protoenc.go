@@ -1,0 +1,81 @@
+package lockprof
+
+// Minimal protobuf wire-format encoder, just enough to emit a
+// pprof profile.proto message without any dependency on a protobuf
+// library. Only the two wire types pprof uses are needed: varint (0)
+// and length-delimited (2). Nested messages and packed repeated fields
+// are both length-delimited byte strings, so the whole encoder is
+// "append varints and byte slices with tags".
+
+// protoBuf accumulates an encoded message.
+type protoBuf struct {
+	data []byte
+}
+
+// varint appends v in base-128 varint encoding.
+func (b *protoBuf) varint(v uint64) {
+	for v >= 0x80 {
+		b.data = append(b.data, byte(v)|0x80)
+		v >>= 7
+	}
+	b.data = append(b.data, byte(v))
+}
+
+// tag appends a field tag with the given wire type.
+func (b *protoBuf) tag(field int, wire int) {
+	b.varint(uint64(field)<<3 | uint64(wire))
+}
+
+// uint64Field appends a varint field. Zero values are skipped, matching
+// proto3 semantics (and keeping profiles small).
+func (b *protoBuf) uint64Field(field int, v uint64) {
+	if v == 0 {
+		return
+	}
+	b.tag(field, 0)
+	b.varint(v)
+}
+
+// int64Field appends a signed varint field (pprof uses plain int64, not
+// zigzag, for its signed fields).
+func (b *protoBuf) int64Field(field int, v int64) {
+	b.uint64Field(field, uint64(v))
+}
+
+// bytesField appends a length-delimited field.
+func (b *protoBuf) bytesField(field int, data []byte) {
+	b.tag(field, 2)
+	b.varint(uint64(len(data)))
+	b.data = append(b.data, data...)
+}
+
+// messageField appends a nested message built by fn.
+func (b *protoBuf) messageField(field int, fn func(*protoBuf)) {
+	var nested protoBuf
+	fn(&nested)
+	b.bytesField(field, nested.data)
+}
+
+// packedUint64s appends a packed repeated varint field.
+func (b *protoBuf) packedUint64s(field int, vs []uint64) {
+	if len(vs) == 0 {
+		return
+	}
+	var nested protoBuf
+	for _, v := range vs {
+		nested.varint(v)
+	}
+	b.bytesField(field, nested.data)
+}
+
+// packedInt64s appends a packed repeated signed varint field.
+func (b *protoBuf) packedInt64s(field int, vs []int64) {
+	if len(vs) == 0 {
+		return
+	}
+	us := make([]uint64, len(vs))
+	for i, v := range vs {
+		us[i] = uint64(v)
+	}
+	b.packedUint64s(field, us)
+}

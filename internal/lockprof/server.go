@@ -1,0 +1,133 @@
+package lockprof
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"thinlock/internal/telemetry"
+)
+
+// MergedSnapshot pairs the telemetry snapshot (global counters and
+// histograms) with the lockprof snapshot (per-site and per-object
+// attribution) for the /debug/vars endpoint.
+type MergedSnapshot struct {
+	Telemetry *telemetry.Snapshot `json:"telemetry,omitempty"`
+	LockProf  *Snapshot           `json:"lockprof,omitempty"`
+}
+
+// Handler returns the live observability endpoint mux:
+//
+//	/metrics                     Prometheus text: telemetry + lockprof site series
+//	/debug/vars                  merged JSON snapshot (telemetry + lockprof)
+//	/debug/lockprof/top          human-readable top-N hot locks (?n=20)
+//	/debug/lockprof/snapshot     full lockprof snapshot as JSON
+//	/debug/pprof/lockcontention  pprof contention profile (gzip protobuf)
+//
+// Each request reads the globally installed telemetry/profiler at
+// handling time, so the handler can be registered before either is
+// enabled; endpoints whose source is disabled answer 503.
+func Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", serveMetrics)
+	mux.HandleFunc("/debug/vars", serveVars)
+	mux.HandleFunc("/debug/lockprof/top", serveTop)
+	mux.HandleFunc("/debug/lockprof/snapshot", serveSnapshot)
+	mux.HandleFunc("/debug/pprof/lockcontention", servePprof)
+	mux.HandleFunc("/", serveIndex)
+	return mux
+}
+
+func serveIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "thinlock observability endpoints:")
+	for _, p := range []string{
+		"/metrics",
+		"/debug/vars",
+		"/debug/lockprof/top?n=20",
+		"/debug/lockprof/snapshot",
+		"/debug/pprof/lockcontention",
+	} {
+		fmt.Fprintln(w, "  "+p)
+	}
+}
+
+func serveMetrics(w http.ResponseWriter, r *http.Request) {
+	m := telemetry.Active()
+	p := Active()
+	if m == nil && p == nil {
+		http.Error(w, "telemetry and lockprof disabled", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if m != nil {
+		if err := m.Snapshot().WritePrometheus(w); err != nil {
+			return
+		}
+	}
+	if p != nil {
+		topN, _ := strconv.Atoi(r.URL.Query().Get("n"))
+		_ = p.Snapshot().WritePrometheus(w, topN)
+	}
+}
+
+func serveVars(w http.ResponseWriter, r *http.Request) {
+	m := telemetry.Active()
+	p := Active()
+	if m == nil && p == nil {
+		http.Error(w, "telemetry and lockprof disabled", http.StatusServiceUnavailable)
+		return
+	}
+	var merged MergedSnapshot
+	if m != nil {
+		snap := m.Snapshot()
+		merged.Telemetry = &snap
+	}
+	if p != nil {
+		merged.LockProf = p.Snapshot()
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(merged)
+}
+
+func serveTop(w http.ResponseWriter, r *http.Request) {
+	p := Active()
+	if p == nil {
+		http.Error(w, "lockprof disabled", http.StatusServiceUnavailable)
+		return
+	}
+	n, _ := strconv.Atoi(r.URL.Query().Get("n"))
+	if n <= 0 {
+		n = 20
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_ = p.Snapshot().WriteTop(w, n)
+}
+
+func serveSnapshot(w http.ResponseWriter, r *http.Request) {
+	p := Active()
+	if p == nil {
+		http.Error(w, "lockprof disabled", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	_ = p.Snapshot().WriteJSON(w)
+}
+
+func servePprof(w http.ResponseWriter, r *http.Request) {
+	p := Active()
+	if p == nil {
+		http.Error(w, "lockprof disabled", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Disposition", `attachment; filename="lockcontention.pb.gz"`)
+	_ = p.Snapshot().WritePprof(w)
+}

@@ -1,0 +1,164 @@
+package lockprof
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+)
+
+// MaxStackDepth is how many Go caller PCs a site key retains. Deep
+// enough to reach through the lock implementation into the workload
+// frame that actually requested the lock.
+const MaxStackDepth = 8
+
+// SiteKey identifies one lock-acquisition site. Exactly one of the two
+// encodings is populated:
+//
+//   - a VM site (interpreter-driven acquisition): the executing method's
+//     qualified name plus the bytecode pc of the monitorenter (or -1 for
+//     a synchronized-method prologue), taken from the thread's published
+//     frame;
+//   - a Go site (direct library use): the caller PC chain captured with
+//     runtime.Callers on the slow path.
+//
+// The key is comparable, so records can be deduplicated with ==.
+type SiteKey struct {
+	// VMMethod is the interpreter method ("Class.method"), or "" for a
+	// Go site.
+	VMMethod string
+	// VMPC is the bytecode pc of the acquisition (-1 marks a
+	// synchronized-method prologue).
+	VMPC int32
+	// PCs is the Go caller chain, leaf first; entries past Depth are
+	// zero.
+	PCs [MaxStackDepth]uintptr
+	// Depth is the number of valid PCs.
+	Depth uint8
+}
+
+// IsVM reports whether the key is an interpreter site.
+func (k SiteKey) IsVM() bool { return k.VMMethod != "" }
+
+// hash returns a 64-bit FNV-1a hash of the key.
+func (k SiteKey) hash() uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xFF
+			h *= prime
+			v >>= 8
+		}
+	}
+	for i := 0; i < len(k.VMMethod); i++ {
+		h ^= uint64(k.VMMethod[i])
+		h *= prime
+	}
+	mix(uint64(uint32(k.VMPC)))
+	for i := uint8(0); i < k.Depth; i++ {
+		mix(uint64(k.PCs[i]))
+	}
+	return h
+}
+
+// captureGoSite fills k with the caller PC chain. skip counts frames to
+// drop on top of captureGoSite itself (runtime.Callers semantics). The
+// buffer is caller-provided so the capture allocates nothing.
+func captureGoSite(k *SiteKey, skip int) {
+	n := runtime.Callers(skip+2, k.PCs[:])
+	k.Depth = uint8(n)
+}
+
+// Frame is one symbolized stack frame of a site.
+type Frame struct {
+	Func string `json:"func"`
+	File string `json:"file"`
+	Line int    `json:"line"`
+}
+
+// internalFramePrefixes name the lock-machinery packages whose frames
+// are skipped when choosing a site's display label, so the label lands
+// on the workload frame that requested the lock.
+var internalFramePrefixes = []string{
+	"thinlock/internal/lockprof",
+	"thinlock/internal/core",
+	"thinlock/internal/monitor",
+	"thinlock/internal/monitorcache",
+	"thinlock/internal/hotlocks",
+	"thinlock/internal/lockapi",
+	// The jcl synchronized helper is pure lock plumbing; the class-library
+	// methods above it (Vector.AddElement, ...) are the meaningful sites.
+	"thinlock/internal/jcl.(*Context).synchronized",
+	"thinlock/internal/locktrace",
+	"thinlock/internal/lockstat",
+	"thinlock/internal/arch",
+	"runtime",
+}
+
+func isInternalFrame(fn string) bool {
+	for _, p := range internalFramePrefixes {
+		if strings.HasPrefix(fn, p+".") || fn == p {
+			return true
+		}
+	}
+	return false
+}
+
+// symbolize resolves a key into human-readable frames. VM sites yield a
+// single synthetic frame; Go sites are resolved through the runtime's
+// symbol tables (inline expansion included).
+func (k SiteKey) symbolize() []Frame {
+	if k.IsVM() {
+		return []Frame{{
+			Func: k.VMMethod,
+			File: "<minijava>",
+			Line: int(k.VMPC),
+		}}
+	}
+	frames := runtime.CallersFrames(k.PCs[:k.Depth])
+	var out []Frame
+	for {
+		f, more := frames.Next()
+		if f.Function != "" {
+			out = append(out, Frame{Func: f.Function, File: f.File, Line: f.Line})
+		}
+		if !more {
+			break
+		}
+	}
+	return out
+}
+
+// label picks the display name for a symbolized site: the first frame
+// that is not lock machinery, or the leaf frame as a fallback.
+func label(frames []Frame) string {
+	for _, f := range frames {
+		if !isInternalFrame(f.Func) {
+			return fmt.Sprintf("%s (%s:%d)", f.Func, shortFile(f.File), f.Line)
+		}
+	}
+	if len(frames) > 0 {
+		f := frames[0]
+		return fmt.Sprintf("%s (%s:%d)", f.Func, shortFile(f.File), f.Line)
+	}
+	return "(unknown site)"
+}
+
+// shortFile trims a file path to its last two components.
+func shortFile(path string) string {
+	short := path
+	slashes := 0
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			slashes++
+			if slashes == 2 {
+				short = path[i+1:]
+				break
+			}
+		}
+	}
+	return short
+}

@@ -228,6 +228,36 @@ func (rep Report) Merge(other Report) Report {
 	return out
 }
 
+// ObjectCount is one entry of a TopObjects ranking.
+type ObjectCount struct {
+	ID    uint64
+	Syncs uint64
+}
+
+// TopObjects returns the n most-locked objects, most first (ties broken
+// by id for determinism); n <= 0 or n beyond the population returns all.
+// This is the Figure 4 shape — lock operations concentrate on a few hot
+// objects — computed from the same per-object counts that feed the
+// median, and the characterization-side counterpart of the contention
+// profiler's per-object records (internal/lockprof ranks by delay, this
+// ranks by operation count).
+func (rep Report) TopObjects(n int) []ObjectCount {
+	out := make([]ObjectCount, 0, len(rep.ObjSyncs))
+	for id, c := range rep.ObjSyncs {
+		out = append(out, ObjectCount{ID: id, Syncs: c})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Syncs != out[j].Syncs {
+			return out[i].Syncs > out[j].Syncs
+		}
+		return out[i].ID < out[j].ID
+	})
+	if n > 0 && n < len(out) {
+		out = out[:n]
+	}
+	return out
+}
+
 // DepthShare returns the fraction of lock operations at the given depth
 // (0 = first lock). Returns 0 when no operations were recorded.
 func (rep Report) DepthShare(depth int) float64 {

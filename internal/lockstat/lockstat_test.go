@@ -324,3 +324,56 @@ func TestMergeRecomputesDerivedColumns(t *testing.T) {
 		t.Error("Merge aliased an input ObjSyncs map")
 	}
 }
+
+func TestTopObjectsRanksBySyncCount(t *testing.T) {
+	t.Parallel()
+	f := newFixture()
+	th := f.thread(t)
+	hot := f.heap.New("Hot")
+	warm := f.heap.New("Warm")
+	cold := f.heap.New("Cold")
+	lockN := func(o *object.Object, n int) {
+		for i := 0; i < n; i++ {
+			f.r.Lock(th, o)
+			if err := f.r.Unlock(th, o); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	lockN(hot, 9)
+	lockN(warm, 4)
+	lockN(cold, 1)
+
+	rep := f.r.Snapshot()
+	top := rep.TopObjects(2)
+	if len(top) != 2 {
+		t.Fatalf("TopObjects(2) returned %d entries", len(top))
+	}
+	if top[0].ID != hot.ID() || top[0].Syncs != 9 {
+		t.Errorf("top[0] = %+v, want hot with 9 syncs", top[0])
+	}
+	if top[1].ID != warm.ID() || top[1].Syncs != 4 {
+		t.Errorf("top[1] = %+v, want warm with 4 syncs", top[1])
+	}
+	// n <= 0 and n beyond the population both return everything.
+	if all := rep.TopObjects(0); len(all) != 3 || all[2].ID != cold.ID() {
+		t.Errorf("TopObjects(0) = %+v, want all three with cold last", all)
+	}
+	if all := rep.TopObjects(100); len(all) != 3 {
+		t.Errorf("TopObjects(100) returned %d entries, want 3", len(all))
+	}
+	if empty := (Report{}).TopObjects(5); len(empty) != 0 {
+		t.Errorf("empty report TopObjects = %+v", empty)
+	}
+}
+
+func TestTopObjectsTieBreakIsDeterministic(t *testing.T) {
+	t.Parallel()
+	rep := Report{ObjSyncs: map[uint64]uint64{7: 3, 2: 3, 5: 3}}
+	for i := 0; i < 10; i++ {
+		top := rep.TopObjects(0)
+		if top[0].ID != 2 || top[1].ID != 5 || top[2].ID != 7 {
+			t.Fatalf("tie order unstable: %+v", top)
+		}
+	}
+}

@@ -39,7 +39,24 @@ func usec(ns int64) float64 { return float64(ns) / 1e3 }
 // Acquire/release pairs per (thread, object) are matched into duration
 // events; an acquire with no matching release (still held when the
 // trace stopped) is closed at the last event's timestamp.
+//
+// The output is a deterministic function of the event *set*: events are
+// first copied and stable-sorted by (thread, timestamp, sequence), so
+// any permutation of the same events — e.g. two snapshots of one
+// concurrent run taken through differently-interleaved appends —
+// serializes to identical bytes. Acquire/release matching only needs
+// per-thread order, which the sort preserves.
 func WriteChromeTrace(w io.Writer, events []Event) error {
+	events = append([]Event(nil), events...)
+	sort.SliceStable(events, func(i, j int) bool {
+		if events[i].Thread != events[j].Thread {
+			return events[i].Thread < events[j].Thread
+		}
+		if events[i].AtNanos != events[j].AtNanos {
+			return events[i].AtNanos < events[j].AtNanos
+		}
+		return events[i].Seq < events[j].Seq
+	})
 	out := make([]traceEvent, 0, len(events)+8)
 
 	// Thread-name metadata events for every thread in the trace.

@@ -25,6 +25,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"thinlock/internal/lockprof"
 	"thinlock/internal/telemetry"
 	"thinlock/internal/threading"
 )
@@ -173,15 +174,25 @@ func (m *Monitor) enterWithCount(t *threading.Thread, c uint32) bool {
 	m.contended.Add(1)
 	depth := len(m.entry)
 	m.latch.Unlock()
-	if tm := telemetry.Active(); tm != nil {
-		tm.Inc(t, telemetry.CtrMonitorContendedEntries)
-		tm.Observe(t, telemetry.HistEntryQueueDepth, int64(depth))
-		start := telemetry.Now()
+	tm := telemetry.Active()
+	p := lockprof.Active()
+	if tm == nil && p == nil {
 		<-n.granted // direct handoff: owner/count already set for us
-		tm.Observe(t, telemetry.HistMonitorStallNs, telemetry.Now()-start)
 		return true
 	}
+	if tm != nil {
+		tm.Inc(t, telemetry.CtrMonitorContendedEntries)
+		tm.Observe(t, telemetry.HistEntryQueueDepth, int64(depth))
+	}
+	start := telemetry.Now()
 	<-n.granted // direct handoff: owner/count already set for us
+	stalled := telemetry.Now() - start
+	if tm != nil {
+		tm.Observe(t, telemetry.HistMonitorStallNs, stalled)
+	}
+	if p != nil {
+		p.Park(t, stalled)
+	}
 	return true
 }
 

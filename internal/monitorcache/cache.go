@@ -23,6 +23,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"thinlock/internal/lockprof"
 	"thinlock/internal/monitor"
 	"thinlock/internal/object"
 	"thinlock/internal/telemetry"
@@ -200,8 +201,19 @@ func (c *Cache) unpin(e *entry) {
 	c.mu.Unlock()
 }
 
-// Lock implements lockapi.Locker.
+// Lock implements lockapi.Locker. Every JDK111 acquisition is a slow
+// path — there is no fast path to protect — so the whole operation is
+// reported to the contention profiler.
 func (c *Cache) Lock(t *threading.Thread, o *object.Object) {
+	if p := lockprof.Active(); p != nil {
+		p.SlowPathEnter(t, o)
+		start := telemetry.Now()
+		e := c.lookup(t, o)
+		e.mon.Enter(t)
+		c.unpin(e)
+		p.SlowPathExit(t, o, telemetry.Now()-start)
+		return
+	}
 	e := c.lookup(t, o)
 	e.mon.Enter(t)
 	c.unpin(e)
@@ -210,6 +222,7 @@ func (c *Cache) Lock(t *threading.Thread, o *object.Object) {
 // Unlock implements lockapi.Locker. Like monitorenter, monitorexit must
 // consult the cache.
 func (c *Cache) Unlock(t *threading.Thread, o *object.Object) error {
+	lockprof.UnlockSlow(t, o)
 	e := c.lookupExisting(t, o)
 	if e == nil {
 		return ErrIllegalMonitorState

@@ -1,0 +1,92 @@
+package telemetry
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// goldenSnapshot is a hand-built snapshot (not taken from a live
+// Telemetry) so the golden file does not churn when new metrics are
+// added: it pins the exposition *format* — name prefixing, TYPE lines,
+// sorted order, cumulative buckets, interior-empty-bucket elision and
+// the +Inf terminal bucket — not the metric roster.
+func goldenSnapshot() Snapshot {
+	return Snapshot{
+		Counters: map[string]uint64{
+			"slow_path_entries": 42,
+			"cas_failures":      7,
+			"inflations_wait":   0,
+		},
+		Histograms: map[string]HistSnapshot{
+			"acquire_slow_ns": {
+				Count: 6,
+				Sum:   1234,
+				// Bucket 1 (le=1): 1 obs; bucket 3 (le=7): 2; bucket 5
+				// (le=31): 3; interior empties elided, last bucket is +Inf.
+				Buckets: fullBuckets(map[int]uint64{1: 1, 3: 2, 5: 3}),
+			},
+		},
+	}
+}
+
+func fullBuckets(nonzero map[int]uint64) []uint64 {
+	bs := make([]uint64, NumBuckets)
+	for b, n := range nonzero {
+		bs[b] = n
+	}
+	return bs
+}
+
+func TestWritePrometheusGolden(t *testing.T) {
+	var b strings.Builder
+	if err := goldenSnapshot().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+
+	path := filepath.Join("testdata", "prometheus.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (regenerate with go test -run Golden -update ./internal/telemetry/)", err)
+	}
+	if got != string(want) {
+		t.Errorf("prometheus exposition drifted from golden file.\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestEscapeLabelValue(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"", ""},
+		{"plain.site (file.go:12)", "plain.site (file.go:12)"},
+		{`back\slash`, `back\\slash`},
+		{`quo"te`, `quo\"te`},
+		{"line\nfeed", `line\nfeed`},
+		{"all\\three\"here\n", `all\\three\"here\n`},
+		// Escaping must be byte-exact and idempotent-unsafe characters
+		// only; tabs and UTF-8 pass through untouched.
+		{"tab\tandé", "tab\tandé"},
+	}
+	for _, c := range cases {
+		if got := EscapeLabelValue(c.in); got != c.want {
+			t.Errorf("EscapeLabelValue(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+	// The fast path must not copy when nothing needs escaping.
+	s := "no-escaping-needed"
+	if got := EscapeLabelValue(s); got != s {
+		t.Errorf("clean string changed: %q", got)
+	}
+}

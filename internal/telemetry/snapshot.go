@@ -183,6 +183,31 @@ func (s Snapshot) WriteJSON(w io.Writer) error {
 // PromPrefix is prepended to every Prometheus metric name.
 const PromPrefix = "thinlock_"
 
+// EscapeLabelValue escapes a Prometheus label value per the text
+// exposition format: backslash as \\, double-quote as \", and line
+// feed as \n. (Go's %q is close but escapes other bytes too, which
+// scrapers are not required to accept.)
+func EscapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	b.Grow(len(v) + 8)
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(v[i])
+		}
+	}
+	return b.String()
+}
+
 // WritePrometheus writes the snapshot in Prometheus text exposition
 // format: counters as `thinlock_<name>_total`, histograms as classic
 // cumulative `_bucket`/`_sum`/`_count` series.
@@ -217,7 +242,7 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 			if ub := BucketUpperBound(bkt); ub != ^uint64(0) {
 				le = fmt.Sprintf("%d", ub)
 			}
-			fmt.Fprintf(&b, "%s%s_bucket{le=%q} %d\n", PromPrefix, k, le, cum)
+			fmt.Fprintf(&b, "%s%s_bucket{le=\"%s\"} %d\n", PromPrefix, k, EscapeLabelValue(le), cum)
 		}
 		fmt.Fprintf(&b, "%s%s_sum %d\n", PromPrefix, k, h.Sum)
 		fmt.Fprintf(&b, "%s%s_count %d\n", PromPrefix, k, h.Count)

@@ -57,6 +57,16 @@ type Thread struct {
 	// so Interrupt can find and wake it.
 	waitMu   sync.Mutex
 	waitNode Interruptible
+
+	// frameMethod/framePC are the interpreter's currently executing
+	// method and bytecode pc, published by internal/vm around lock
+	// operations so the contention profiler can attribute a slow-path
+	// acquisition to its bytecode site. Only the owning goroutine reads
+	// or writes them (the same single-goroutine discipline as the rest
+	// of the Thread), so plain fields suffice.
+	frameMethod string
+	framePC     int32
+	frameSet    bool
 }
 
 // Interruptible is implemented by blocked states (e.g. a monitor wait
@@ -110,6 +120,29 @@ func (t *Thread) Interrupted() bool {
 
 // IsInterrupted reports the interrupt status without clearing it.
 func (t *Thread) IsInterrupted() bool { return t.interrupted.Load() }
+
+// PublishFrame records the interpreter frame (method name + bytecode pc)
+// about to perform a lock operation on this thread, for lock-site
+// attribution. Must be called by the owning goroutine and paired with
+// ClearFrame.
+func (t *Thread) PublishFrame(method string, pc int32) {
+	t.frameMethod = method
+	t.framePC = pc
+	t.frameSet = true
+}
+
+// ClearFrame clears the published interpreter frame.
+func (t *Thread) ClearFrame() {
+	t.frameMethod = ""
+	t.framePC = 0
+	t.frameSet = false
+}
+
+// Frame returns the published interpreter frame, if any. Must be called
+// by the owning goroutine.
+func (t *Thread) Frame() (method string, pc int32, ok bool) {
+	return t.frameMethod, t.framePC, t.frameSet
+}
 
 // SetWaitNode publishes (or, with nil, clears) the thread's current
 // interruptible wait so Interrupt can reach it. It is called by the

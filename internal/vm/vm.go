@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"thinlock/internal/lockapi"
+	"thinlock/internal/lockprof"
 	"thinlock/internal/object"
 	"thinlock/internal/telemetry"
 	"thinlock/internal/threading"
@@ -251,7 +252,16 @@ func (v *VM) exec(t *threading.Thread, m *Method, args []Value) (result Value, t
 				throwf("%s: synchronized call on nil receiver", m.QualifiedName())
 			}
 		}
-		v.locker.Lock(t, syncObj.Object)
+		if lockprof.Enabled() {
+			// Attribute the prologue acquisition to the method with the
+			// sentinel pc -1 (there is no monitorenter bytecode for a
+			// synchronized method's entry).
+			t.PublishFrame(m.QualifiedName(), -1)
+			v.locker.Lock(t, syncObj.Object)
+			t.ClearFrame()
+		} else {
+			v.locker.Lock(t, syncObj.Object)
+		}
 	}
 	unlockSync := func() {
 		if syncObj != nil {
@@ -375,6 +385,16 @@ func (v *VM) exec(t *threading.Thread, m *Method, args []Value) (result Value, t
 				throwf("monitorenter on nil reference")
 			}
 			telemetry.Inc(t, telemetry.CtrVMMonitorEnter)
+			if lockprof.Enabled() {
+				// Publish the bytecode site (pc was already advanced past
+				// this instruction) so a slow-path acquisition is
+				// attributed to "Class.method@pc" instead of interpreter
+				// internals.
+				t.PublishFrame(m.QualifiedName(), int32(pc-1))
+				v.locker.Lock(t, ref.Ref.Object)
+				t.ClearFrame()
+				break
+			}
 			v.locker.Lock(t, ref.Ref.Object)
 		case OpMonitorExit:
 			ref := pop()

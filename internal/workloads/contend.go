@@ -2,6 +2,7 @@ package workloads
 
 import (
 	"fmt"
+	"runtime"
 
 	"thinlock/internal/jcl"
 	"thinlock/internal/lockapi"
@@ -29,6 +30,16 @@ const bankAccounts = 8
 // ever holds two guards), and balance updates commute, so the final
 // balances — and therefore the checksum — are independent of the
 // schedule.
+//
+// Some rounds yield the processor *inside* a critical section. Without
+// this, a single-CPU host runs each worker's tiny critical sections to
+// completion unpreempted and no lock is ever observed held — the
+// workload would show zero contention exactly where contention is the
+// point. The in-section yield models a thread descheduled while holding
+// a lock (the pathology §2.3.4's inflation-on-contention exists for)
+// and makes inflations, parks and contended sites reproducible
+// regardless of GOMAXPROCS. The yield schedule is a pure function of
+// (worker, round), and the checksum stays schedule-independent.
 func runBankmt(ctx *jcl.Context, t *threading.Thread, size int) uint64 {
 	l := ctx.Locker()
 	heap := ctx.Heap()
@@ -60,15 +71,22 @@ func runBankmt(ctx *jcl.Context, t *threading.Thread, size int) uint64 {
 				amt := int64((w+1)*(r%7) + 1)
 				lockapi.Synchronized(l, wt, guards[src], func() {
 					bal := accounts[src].ElementAt(wt, 0).(int64)
+					if (r+w)%4 == 0 {
+						runtime.Gosched()
+					}
 					accounts[src].SetElementAt(wt, bal-amt, 0)
 				})
 				lockapi.Synchronized(l, wt, guards[dst], func() {
 					bal := accounts[dst].ElementAt(wt, 0).(int64)
+					if (r+w)%4 == 2 {
+						runtime.Gosched()
+					}
 					accounts[dst].SetElementAt(wt, bal+amt, 0)
 				})
 				if r%8 == 0 {
 					lockapi.Synchronized(l, wt, ledgerGuard, func() {
 						ledger.AddElement(wt, int64(w))
+						runtime.Gosched()
 					})
 				}
 			}
