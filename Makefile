@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test vet race check explore fuzz-smoke obs-smoke
+.PHONY: all build test vet race race-locks check explore fuzz-smoke obs-smoke bench-baseline bench-diff
 
 all: vet build test
 
@@ -18,6 +18,13 @@ vet:
 # slowest stress rounds so the job stays CI-sized.
 race:
 	$(GO) test -race -short ./internal/... .
+
+# race-locks runs the two lock-word protocol packages (biased
+# reservation and thin locks) under the race detector at full strength
+# (no -short): the revocation handshake's store/load ordering is exactly
+# what the detector is for.
+race-locks:
+	$(GO) test -race -count=1 ./internal/biased/... ./internal/core/...
 
 # check runs the concurrent differential checker CLI over every lock
 # implementation, and the exhaustive small-scope explorer.
@@ -44,6 +51,24 @@ obs-smoke: build
 	$(GO) test -run 'TestChromeTrace|TestDisabledHooks|TestEnabledSlowPath|TestDisabledProfiler|TestPprofProfile' \
 		./internal/locktrace/ ./internal/telemetry/ ./internal/lockprof/
 	GO="$(GO)" scripts/obs_smoke_serve.sh results/obs
+
+# bench-baseline regenerates the committed performance floor under
+# results/baseline (scale/samples chosen to finish in seconds; the
+# matching bench-diff threshold is loose for the same reason).
+bench-baseline: build
+	$(GO) run ./cmd/macrobench -json -json-dir results/baseline \
+		-scale 0.2 -samples 3 -only minibank,bankmt,sessiond
+
+# bench-diff measures the same three workloads now and compares against
+# the committed baseline. The 2.5 (250%) threshold is deliberately
+# loose: CI machines are noisy and the baseline was recorded elsewhere,
+# so this gate only catches order-of-magnitude protocol regressions
+# (e.g. a biased fast path falling back to inflation), not % drift.
+bench-diff: build
+	mkdir -p results/head
+	$(GO) run ./cmd/macrobench -json -json-dir results/head \
+		-scale 0.2 -samples 3 -only minibank,bankmt,sessiond
+	$(GO) run ./cmd/benchdiff -threshold 2.5 results/baseline results/head
 
 # fuzz-smoke gives each fuzzer a short budget on top of its seed
 # corpus (testdata/fuzz); any new crasher is written back to testdata.

@@ -8,17 +8,22 @@
 // Usage:
 //
 //	lockcheck [-impl all|name,name] [-threads N] [-objects N] [-ops N]
-//	          [-rounds N] [-seed N] [-timeout D] [-mutate overflow|dropwake]
-//	          [-explore]
+//	          [-rounds N] [-seed N] [-timeout D]
+//	          [-mutate overflow|dropwake|biasdepth|biasdekker] [-explore]
+//
+// The implementation names accepted by -impl are exactly
+// check.ImplementationNames() — the -impl flag's help text lists them,
+// so `lockcheck -help` is always current.
 //
 // -explore switches to the small-scope exhaustive mode, model checking
 // every interleaving of tiny lock/unlock programs against the abstract
 // lock-word state machine for every implementation variant.
 //
-// -mutate seeds a known protocol bug into a thin-lock instance and
-// checks that instead, demonstrating (in a few seconds) that the
-// checker actually detects broken lock protocols; these runs are
-// expected to FAIL.
+// -mutate seeds a known protocol bug — into a thin-lock instance
+// (overflow, dropwake) or a biased-locking instance (biasdepth,
+// biasdekker) — and checks that instead, demonstrating (in a few
+// seconds) that the checker actually detects broken lock protocols;
+// these runs are expected to FAIL.
 package main
 
 import (
@@ -30,20 +35,21 @@ import (
 	"strings"
 	"time"
 
+	"thinlock/internal/biased"
 	"thinlock/internal/check"
 	"thinlock/internal/core"
 	"thinlock/internal/lockapi"
 )
 
 func main() {
-	impl := flag.String("impl", "all", "comma-separated implementations to check, or \"all\"")
+	impl := flag.String("impl", "all", implFlagUsage())
 	threads := flag.Int("threads", 4, "threads per generated program")
 	objects := flag.Int("objects", 3, "objects per generated program")
 	ops := flag.Int("ops", 30, "operations per thread")
 	rounds := flag.Int("rounds", 20, "programs to generate per implementation")
 	seed := flag.Int64("seed", 1, "base seed for program generation and schedule jitter")
 	timeout := flag.Duration("timeout", 20*time.Second, "per-run watchdog bound")
-	mutate := flag.String("mutate", "", "seed a known bug and check it: overflow | dropwake")
+	mutate := flag.String("mutate", "", "seed a known bug and check it: overflow | dropwake | biasdepth | biasdekker")
 	explore := flag.Bool("explore", false, "exhaustively model check all interleavings of tiny programs")
 	flag.Parse()
 
@@ -143,8 +149,26 @@ func selectImpls(names, mutate string) (map[string]func() lockapi.Locker, error)
 				})
 			},
 		}, nil
+	case "biasdepth":
+		return map[string]func() lockapi.Locker{
+			"Biased-mut-depth": func() lockapi.Locker {
+				return biased.New(biased.Options{
+					DisableRebias: true,
+					TestMutations: biased.Mutations{RevokeOffByOne: true},
+				})
+			},
+		}, nil
+	case "biasdekker":
+		return map[string]func() lockapi.Locker{
+			"Biased-mut-dekker": func() lockapi.Locker {
+				return biased.New(biased.Options{
+					DisableRebias: true,
+					TestMutations: biased.Mutations{SkipOwnerValidation: true},
+				})
+			},
+		}, nil
 	default:
-		return nil, fmt.Errorf("unknown -mutate %q (want overflow or dropwake)", mutate)
+		return nil, fmt.Errorf("unknown -mutate %q (want overflow, dropwake, biasdepth or biasdekker)", mutate)
 	}
 
 	all := check.Implementations()
@@ -162,6 +186,14 @@ func selectImpls(names, mutate string) (map[string]func() lockapi.Locker, error)
 		out[n] = mk
 	}
 	return out, nil
+}
+
+// implFlagUsage builds the -impl help text from the live registry, so
+// the CLI's documentation can never drift from the implementations it
+// actually accepts.
+func implFlagUsage() string {
+	return fmt.Sprintf("comma-separated implementations to check, or \"all\" (available: %s)",
+		strings.Join(check.ImplementationNames(), ", "))
 }
 
 func sortedNames(m map[string]func() lockapi.Locker) []string {

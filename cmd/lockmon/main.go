@@ -39,6 +39,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	"thinlock/internal/bench"
@@ -55,7 +56,7 @@ import (
 func main() {
 	list := flag.Bool("list", false, "list workloads and implementations, then exit")
 	workload := flag.String("workload", "bankmt", "workload to run (see -list)")
-	impl := flag.String("impl", "ThinLock", "lock implementation: ThinLock, IBM112 or JDK111")
+	impl := flag.String("impl", "ThinLock", "lock implementation: "+strings.Join(bench.Names(bench.StandardImpls()), ", "))
 	size := flag.Int("size", 0, "workload size (0 = the workload's default)")
 	live := flag.Bool("live", false, "print live counter deltas to stderr while running")
 	interval := flag.Duration("interval", 250*time.Millisecond, "live print interval")

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	thinlockc [-impl ThinLock|JDK111|IBM112] [-entry main] [-dis] file.mj
+//	thinlockc [-impl name] [-entry main] [-dis] file.mj
 //	thinlockc -e 'func main() { return 6 * 7; }'
 //
 // The program's result (main's return value) is printed, along with lock
@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"thinlock/internal/bench"
 	"thinlock/internal/core"
@@ -24,7 +25,7 @@ import (
 )
 
 func main() {
-	impl := flag.String("impl", "ThinLock", "lock implementation: ThinLock, IBM112 or JDK111")
+	impl := flag.String("impl", "ThinLock", "lock implementation: "+strings.Join(bench.Names(bench.StandardImpls()), ", "))
 	entry := flag.String("entry", "main", "function to run")
 	dis := flag.Bool("dis", false, "print the compiled bytecode")
 	format := flag.Bool("fmt", false, "pretty-print the parsed program and exit")

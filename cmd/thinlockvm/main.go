@@ -5,13 +5,17 @@
 //
 // Usage:
 //
-//	thinlockvm [-impl ThinLock|JDK111|IBM112] [-iters N] [-threads N] [-dis]
+//	thinlockvm [-impl name] [-iters N] [-threads N] [-dis]
+//
+// -impl accepts any name from bench.StandardImpls (its help text lists
+// them).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"sync"
 
 	"thinlock/internal/bench"
@@ -22,7 +26,7 @@ import (
 )
 
 func main() {
-	impl := flag.String("impl", "ThinLock", "lock implementation: ThinLock, IBM112 or JDK111")
+	impl := flag.String("impl", "ThinLock", "lock implementation: "+strings.Join(bench.Names(bench.StandardImpls()), ", "))
 	iters := flag.Int64("iters", 100_000, "synchronized increments per thread")
 	threads := flag.Int("threads", 4, "competing threads")
 	dis := flag.Bool("dis", false, "print the program disassembly")

@@ -247,12 +247,13 @@ func TestRunFigure4Smoke(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// 6 fixed kernels + 2 multisync + 1 threads = 9 per impl, 3 impls.
-	if len(rs.Results) != 27 {
-		t.Errorf("results = %d, want 27", len(rs.Results))
+	// 6 fixed kernels + 2 multisync + 1 threads = 9 per impl.
+	want := 9 * len(StandardImpls())
+	if len(rs.Results) != want {
+		t.Errorf("results = %d, want %d", len(rs.Results), want)
 	}
-	if len(lines) != 27 {
-		t.Errorf("progress lines = %d, want 27", len(lines))
+	if len(lines) != want {
+		t.Errorf("progress lines = %d, want %d", len(lines), want)
 	}
 }
 
@@ -265,9 +266,10 @@ func TestRunFigure6Smoke(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// 8 variants × 3 kernels + 7 × Threads (NOP excluded).
-	if len(rs.Results) != 8*3+7 {
-		t.Errorf("results = %d, want %d", len(rs.Results), 8*3+7)
+	// Every variant × 3 kernels + (all but NOP) × Threads.
+	n := len(VariantImpls())
+	if want := n*3 + (n - 1); len(rs.Results) != want {
+		t.Errorf("results = %d, want %d", len(rs.Results), want)
 	}
 	if _, ok := rs.Get("Threads", "NOP", 2); ok {
 		t.Error("NOP must be excluded from Threads")

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"thinlock/internal/biased"
 	"thinlock/internal/core"
 	"thinlock/internal/hotlocks"
 	"thinlock/internal/lockapi"
@@ -16,13 +17,16 @@ type Factory struct {
 	New func() lockapi.Locker
 }
 
-// StandardImpls returns the three implementations compared throughout
-// the paper's evaluation (Figures 4 and 5): ThinLock, IBM112 and JDK111.
+// StandardImpls returns the implementations compared throughout the
+// paper's evaluation (Figures 4 and 5) — ThinLock, IBM112 and JDK111 —
+// plus the biased-reservation follow-on design. Biased is appended
+// last: reports and tests index the paper's trio by position.
 func StandardImpls() []Factory {
 	return []Factory{
 		{Name: "ThinLock", New: func() lockapi.Locker { return core.NewDefault() }},
 		{Name: "IBM112", New: func() lockapi.Locker { return hotlocks.NewDefault() }},
 		{Name: "JDK111", New: func() lockapi.Locker { return monitorcache.NewDefault() }},
+		{Name: "Biased", New: func() lockapi.Locker { return biased.NewDefault() }},
 	}
 }
 
@@ -42,7 +46,19 @@ func VariantImpls() []Factory {
 		{Name: "KernelC&S", New: mk(core.VariantKernelCAS)},
 		{Name: "UnlkC&S", New: mk(core.VariantUnlockCAS)},
 		{Name: "IBM112", New: func() lockapi.Locker { return hotlocks.NewDefault() }},
+		{Name: "Biased", New: func() lockapi.Locker { return biased.NewDefault() }},
+		{Name: "Biased-off", New: func() lockapi.Locker { return biased.New(biased.Options{DisableBias: true}) }},
 	}
+}
+
+// Names returns the factory names in order; CLI help text derives its
+// implementation lists from this so it cannot drift from Lookup.
+func Names(fs []Factory) []string {
+	out := make([]string, len(fs))
+	for i, f := range fs {
+		out[i] = f.Name
+	}
+	return out
 }
 
 // Lookup returns the named factory from fs, or false.

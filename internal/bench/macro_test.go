@@ -114,8 +114,8 @@ func TestRunFigure5SmokeAndChecksumAgreement(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rs.Results) != 2*3 {
-		t.Errorf("results = %d, want 6", len(rs.Results))
+	if want := 2 * len(StandardImpls()); len(rs.Results) != want {
+		t.Errorf("results = %d, want %d", len(rs.Results), want)
 	}
 }
 

@@ -1,0 +1,31 @@
+package biased_test
+
+import (
+	"testing"
+
+	"thinlock/internal/biased"
+	"thinlock/internal/lockapi"
+	"thinlock/internal/lockapi/conformance"
+)
+
+// TestConformance runs the shared behavioural suite against every
+// biased configuration directly from this package, so `go test
+// ./internal/biased/...` (the race CI job) exercises the full monitor
+// semantics without needing the registry-wide conformance run.
+func TestConformance(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		opts biased.Options
+	}{
+		{"Default", biased.Options{}},
+		{"NoRebias", biased.Options{DisableRebias: true}},
+		{"BiasOff", biased.Options{DisableBias: true}},
+		{"NarrowEpoch", biased.Options{EpochBits: 1, RebiasThreshold: 1, RevokeThreshold: 3}},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			conformance.Run(t, func() lockapi.Locker { return biased.New(tc.opts) })
+		})
+	}
+}

@@ -1,0 +1,27 @@
+package biased
+
+// Mutations plants deliberate protocol bugs into the biased-locking
+// implementation so the differential checker (internal/check) can prove
+// it detects revocation-protocol failures, mirroring
+// core.Options.TestMutations. All fields default to off; production
+// configurations never set them.
+type Mutations struct {
+	// RevokeOffByOne makes the revocation walker seed the conventional
+	// lock word with the owner's full recursion depth instead of
+	// (depth − 1), the classic conversion error between "locks held"
+	// and the thin count's (locks − 1) encoding. A revoked reservation
+	// surfaces one phantom recursion level: an object revoked at depth
+	// 0 appears locked once, and a revoked held lock needs one unlock
+	// too many — an outcome divergence in any schedule that revokes.
+	RevokeOffByOne bool
+
+	// SkipOwnerValidation makes the owner's biased fast path trust its
+	// bias slot without re-validating the object header after
+	// publishing the new depth — it breaks the owner's half of the
+	// Dekker store/load handshake. An owner that keeps using a revoked
+	// reservation updates only its private slot, so its nested locks
+	// and unlocks never reach the shared word: the final release is
+	// lost and a contender waits forever (a stuck schedule), or the
+	// leaked lock word surfaces as a quiescence failure.
+	SkipOwnerValidation bool
+}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package biased
+
+// raceEnabled reports whether the race detector instruments this build;
+// timing assertions are meaningless under its overhead.
+const raceEnabled = false

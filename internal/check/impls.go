@@ -3,6 +3,7 @@ package check
 import (
 	"sort"
 
+	"thinlock/internal/biased"
 	"thinlock/internal/core"
 	"thinlock/internal/hotlocks"
 	"thinlock/internal/lockapi"
@@ -12,7 +13,8 @@ import (
 
 // Implementations returns fresh-instance factories for every lock
 // implementation the checker certifies: the paper's thin locks plus the
-// queued-inflation, deflation and narrow-count variants, both historical
+// queued-inflation, deflation and narrow-count variants, the biased
+// reservation locker (with and without rebiasing), both historical
 // baselines, and the reference oracle itself (checked like any other
 // implementation — an oracle nobody checks is just a second opinion).
 func Implementations() map[string]func() lockapi.Locker {
@@ -21,6 +23,8 @@ func Implementations() map[string]func() lockapi.Locker {
 		"ThinLock-queued": func() lockapi.Locker { return core.New(core.Options{QueuedInflation: true}) },
 		"ThinLock-defl":   func() lockapi.Locker { return core.New(core.Options{EnableDeflation: true}) },
 		"ThinLock-2bit":   func() lockapi.Locker { return core.New(core.Options{CountBits: 2}) },
+		"Biased":          func() lockapi.Locker { return biased.NewDefault() },
+		"Biased-norebias": func() lockapi.Locker { return biased.New(biased.Options{DisableRebias: true}) },
 		"JDK111":          func() lockapi.Locker { return monitorcache.New(monitorcache.Options{Capacity: 4}) },
 		"IBM112":          func() lockapi.Locker { return hotlocks.New(hotlocks.Options{Threshold: 2}) },
 		"Reference":       func() lockapi.Locker { return reference.New() },

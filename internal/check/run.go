@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"thinlock/internal/biased"
 	"thinlock/internal/core"
 	"thinlock/internal/lockapi"
 	"thinlock/internal/locktrace"
@@ -317,6 +318,28 @@ func checkQuiescence(l lockapi.Locker, objs []*object.Object) []Failure {
 				fs = append(fs, Failure{FailLeak,
 					fmt.Sprintf("obj %d still thin-locked by t%d after run", i, hi)})
 			}
+		}
+		if s := impl.Stats(); uint64(s.FatLocks) != s.Inflations() {
+			fs = append(fs, Failure{FailLeak,
+				fmt.Sprintf("monitor table holds %d monitors for %d inflations", s.FatLocks, s.Inflations())})
+		}
+	case *biased.Locker:
+		for i, o := range objs {
+			if m := impl.Monitor(o); m != nil {
+				if !m.Quiescent() {
+					fs = append(fs, Failure{FailLeak,
+						fmt.Sprintf("obj %d monitor not quiescent after run: %v", i, m)})
+				}
+			} else if hi := impl.HolderIndex(o); hi != 0 {
+				fs = append(fs, Failure{FailLeak,
+					fmt.Sprintf("obj %d still thin-locked by t%d after run", i, hi)})
+			} else if core.IsBiasRevoking(o.Header()) {
+				fs = append(fs, Failure{FailLeak,
+					fmt.Sprintf("obj %d stuck in revocation sentinel after run", i)})
+			}
+			// A plain biased header is fine: an unheld reservation is not
+			// a lock, and a held one would have tripped the shadow-owner
+			// check above.
 		}
 		if s := impl.Stats(); uint64(s.FatLocks) != s.Inflations() {
 			fs = append(fs, Failure{FailLeak,

@@ -92,3 +92,61 @@ func ThinWord(owner uint16, count uint32, misc uint32) uint32 {
 func InflatedWord(idx uint32, misc uint32) uint32 {
 	return ShapeBit | idx<<FatIndexShift | misc&MiscMask
 }
+
+// Bias encoding (used by internal/biased).
+//
+// A biased ("reserved") lock word is a post-paper extension of the same
+// 24-bit lock field: shape bit 0 (so inflated-word tests are unchanged),
+// the reserving thread's 15-bit index in the usual owner position, and
+// the top bit of the count field — BiasBit — set to mark the word as a
+// reservation rather than a held thin lock. The remaining low bits of
+// the count field carry a small bias epoch. The recursion depth of a
+// biased lock is NOT stored in the word (it lives in the owner's
+// per-thread bias slot, see threading.BiasSlot), which is what lets the
+// owner reacquire and release without ever writing shared memory.
+//
+// An implementation that installs biased words must cap its own thin
+// counts at BiasMaxThinCount so bit 15 unambiguously distinguishes the
+// two flavours; core's standard thin locks never produce biased words.
+const (
+	// BiasBit marks a thin-shaped word as a bias reservation. It is the
+	// top bit of the count field.
+	BiasBit uint32 = 1 << 15
+
+	// BiasMaxThinCount is the largest thin count an implementation that
+	// also uses biased words may encode (bit 15 is reserved for BiasBit,
+	// leaving 7 count bits: up to 128 nested locks).
+	BiasMaxThinCount = 127
+
+	// MaxBiasEpochBits bounds the epoch width: the count field below
+	// BiasBit has 7 bits.
+	MaxBiasEpochBits = 7
+)
+
+// IsBiased reports whether w is a bias reservation word (for either a
+// live reservation or a revocation in progress).
+func IsBiased(w uint32) bool { return w&(ShapeBit|BiasBit) == BiasBit }
+
+// IsBiasRevoking reports whether w is the revocation sentinel: a biased
+// word with owner index 0, installed by a revoker to claim exclusive
+// right to rewrite the word. No thread can bias to index 0 (reserved).
+func IsBiasRevoking(w uint32) bool { return IsBiased(w) && w&TIDMask == 0 }
+
+// BiasOwner returns the reserving thread index of a biased word.
+func BiasOwner(w uint32) uint16 { return ThinOwner(w) }
+
+// BiasEpoch extracts the epoch of a biased word given the configured
+// epoch width in bits.
+func BiasEpoch(w uint32, epochBits int) uint32 {
+	return (w >> CountShift) & (1<<epochBits - 1)
+}
+
+// BiasedWord assembles a bias reservation word for the given owner,
+// epoch (masked to epochBits) and misc bits.
+func BiasedWord(owner uint16, epoch uint32, epochBits int, misc uint32) uint32 {
+	return uint32(owner)<<IndexShift | BiasBit |
+		(epoch&(1<<epochBits-1))<<CountShift | misc&MiscMask
+}
+
+// BiasRevokingWord assembles the revocation sentinel preserving misc.
+func BiasRevokingWord(misc uint32) uint32 { return BiasBit | misc&MiscMask }

@@ -66,6 +66,10 @@ func Run(t *testing.T, mk func() lockapi.Locker) {
 		{"WaitWithPendingInterrupt", testWaitPendingInterrupt},
 		{"WaitReacquiresDepth", testWaitReacquiresDepth},
 		{"MutualExclusion", testMutualExclusion},
+		{"SecondThreadAfterRepeatOwner", testSecondThreadAfterRepeatOwner},
+		{"WaitAfterRepeatOwnership", testWaitAfterRepeatOwnership},
+		{"InterruptDuringOwnershipTransfer", testInterruptDuringOwnershipTransfer},
+		{"ContendedDeepNesting", testContendedDeepNesting},
 	} {
 		tc := tc
 		t.Run(tc.name, func(t *testing.T) {
@@ -385,6 +389,179 @@ func testWaitReacquiresDepth(t *testing.T, mk func() lockapi.Locker) {
 	case <-done:
 	case <-time.After(testutil.DefaultWaitTimeout):
 		t.Fatal("waiter never resumed")
+	}
+}
+
+// testSecondThreadAfterRepeatOwner: an object locked repeatedly by one
+// thread — the pattern a reservation-based implementation optimizes for
+// — must still hand over cleanly when a second thread arrives. For the
+// biased locker this is the basic revocation path: thread b's first
+// acquisition must revoke a's reservation, wait out the handshake, and
+// acquire; a's subsequent re-acquisitions go through the conventional
+// word the revoker published.
+func testSecondThreadAfterRepeatOwner(t *testing.T, mk func() lockapi.Locker) {
+	f := newFixture(t, mk)
+	a, b := f.thread(t, "a"), f.thread(t, "b")
+	o := f.heap.New("conf")
+
+	// Establish single-owner history (installs a reservation where
+	// supported).
+	for i := 0; i < 10; i++ {
+		f.l.Lock(a, o)
+		if err := f.l.Unlock(a, o); err != nil {
+			t.Fatalf("owner round %d unlock: %v", i, err)
+		}
+	}
+	// Second thread takes over.
+	f.l.Lock(b, o)
+	if err := f.l.Unlock(a, o); err != monitor.ErrIllegalMonitorState {
+		t.Fatalf("a unlock while b owns: err = %v, want ErrIllegalMonitorState", err)
+	}
+	if err := f.l.Unlock(b, o); err != nil {
+		t.Fatalf("b unlock: %v", err)
+	}
+	// The original owner must be able to come back.
+	f.l.Lock(a, o)
+	if err := f.l.Unlock(a, o); err != nil {
+		t.Fatalf("a relock unlock: %v", err)
+	}
+}
+
+// testWaitAfterRepeatOwnership: a timed wait at nesting depth 2 on an
+// object the thread has locked and released before. A reservation-based
+// implementation must revoke its own bias and inflate, carrying the
+// exact depth into the fat lock; the wait then times out and re-acquires
+// at depth 2 as usual.
+func testWaitAfterRepeatOwnership(t *testing.T, mk func() lockapi.Locker) {
+	f := newFixture(t, mk)
+	a, b := f.thread(t, "a"), f.thread(t, "b")
+	o := f.heap.New("conf")
+
+	f.l.Lock(a, o)
+	if err := f.l.Unlock(a, o); err != nil {
+		t.Fatalf("warmup unlock: %v", err)
+	}
+	f.l.Lock(a, o)
+	f.l.Lock(a, o)
+	notified, err := f.l.Wait(a, o, 5*time.Millisecond)
+	if err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if notified {
+		t.Error("notified = true on a timeout")
+	}
+	for i := 0; i < 2; i++ {
+		if err := f.l.Unlock(a, o); err != nil {
+			t.Fatalf("unlock %d after wait: %v", i, err)
+		}
+	}
+	if err := f.l.Unlock(a, o); err != monitor.ErrIllegalMonitorState {
+		t.Fatalf("extra unlock err = %v, want ErrIllegalMonitorState", err)
+	}
+	f.l.Lock(b, o) // fully released: must not block
+	if err := f.l.Unlock(b, o); err != nil {
+		t.Fatalf("b unlock: %v", err)
+	}
+}
+
+// testInterruptDuringOwnershipTransfer: a thread waiting on an object it
+// had reserved (its wait forced the revoke-and-inflate) is interrupted
+// while a second thread owns the monitor. The interrupt must cut through
+// whatever lock shape the handover left behind: the waiter wakes with
+// ErrInterrupted, re-acquires after the owner releases, and unwinds.
+func testInterruptDuringOwnershipTransfer(t *testing.T, mk func() lockapi.Locker) {
+	f := newFixture(t, mk)
+	main := f.thread(t, "main")
+	o := f.heap.New("conf")
+
+	waiting := make(chan struct{})
+	var waiter *threading.Thread
+	ready := make(chan struct{})
+	done, err := f.reg.Go("waiter", func(w *threading.Thread) {
+		waiter = w
+		close(ready)
+		f.l.Lock(w, o)
+		if err := f.l.Unlock(w, o); err != nil { // establish reservation history
+			t.Errorf("warmup unlock: %v", err)
+		}
+		f.l.Lock(w, o)
+		close(waiting)
+		if _, err := f.l.Wait(w, o, 0); err != threading.ErrInterrupted {
+			t.Errorf("Wait err = %v, want ErrInterrupted", err)
+		}
+		if err := f.l.Unlock(w, o); err != nil {
+			t.Errorf("unlock after interrupted wait: %v", err)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-ready
+	<-waiting
+	f.l.Lock(main, o) // the waiter is inside Wait once this acquires
+	waiter.Interrupt()
+	// Hold the monitor briefly so the interrupted waiter's re-acquisition
+	// has to queue behind a live owner.
+	time.Sleep(2 * time.Millisecond)
+	if err := f.l.Unlock(main, o); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-done:
+	case <-time.After(testutil.DefaultWaitTimeout):
+		t.Fatal("interrupted waiter never returned")
+	}
+}
+
+// testContendedDeepNesting: one thread nests past every count-field
+// boundary (thin counts, biased depth caps) while a second thread is
+// already spinning for the lock; the deep owner must unwind fully and
+// the contender must then acquire. This crosses the overflow
+// self-revocation (biased) and count-overflow inflation (thin) paths
+// while contention is live rather than in isolation.
+func testContendedDeepNesting(t *testing.T, mk func() lockapi.Locker) {
+	f := newFixture(t, mk)
+	o := f.heap.New("conf")
+
+	const depth = 200 // > 128: past the biased depth cap and thin counts
+	acquired := make(chan struct{})
+	deepDone, err := f.reg.Go("deep", func(w *threading.Thread) {
+		f.l.Lock(w, o)
+		if err := f.l.Unlock(w, o); err != nil { // reservation history
+			t.Errorf("warmup unlock: %v", err)
+		}
+		f.l.Lock(w, o)
+		close(acquired)
+		for i := 1; i < depth; i++ {
+			f.l.Lock(w, o)
+		}
+		time.Sleep(time.Millisecond) // let the contender reach its spin
+		for i := 0; i < depth; i++ {
+			if err := f.l.Unlock(w, o); err != nil {
+				t.Errorf("unlock %d: %v", i, err)
+				return
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-acquired
+	contenderDone, err := f.reg.Go("contender", func(w *threading.Thread) {
+		f.l.Lock(w, o)
+		if err := f.l.Unlock(w, o); err != nil {
+			t.Errorf("contender unlock: %v", err)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, done := range []<-chan struct{}{deepDone, contenderDone} {
+		select {
+		case <-done:
+		case <-time.After(testutil.DefaultWaitTimeout):
+			t.Fatal("deep nesting under contention never completed")
+		}
 	}
 }
 

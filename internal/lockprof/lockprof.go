@@ -225,6 +225,37 @@ func (p *Profiler) Inflation(t *threading.Thread, o *object.Object, cause Inflat
 	}
 }
 
+// Revocation records a bias revocation of o with the given cause.
+// Like inflations, revocations are rare protocol transitions and are
+// recorded unconditionally; the acting thread is the one that triggered
+// the revocation (the contender for CauseContention, the bias owner for
+// CauseWait/CauseOverflow), so the captured site is where the
+// reservation was torn down.
+func (p *Profiler) Revocation(t *threading.Thread, o *object.Object, cause InflationCause) {
+	if cause >= NumCauses {
+		return
+	}
+	site := p.slot(t).site.Load()
+	if site == nil {
+		var k SiteKey
+		if t != nil {
+			if method, pc, ok := t.Frame(); ok {
+				k.VMMethod, k.VMPC = method, pc
+			}
+		}
+		if !k.IsVM() {
+			captureGoSite(&k, 1)
+		}
+		site = p.sites.get(k)
+	}
+	if site != nil {
+		site.Revocations[cause].Add(1)
+	}
+	if obj := p.objs.get(o.ID(), o.Class()); obj != nil {
+		obj.Revocations.Add(1)
+	}
+}
+
 // UnlockSlow is called from slow-path unlocks. If the thread's held
 // sample matches o, the hold time (acquisition to this unlock) is
 // charged to the sampled records and the held state cleared. Inflated
@@ -288,6 +319,14 @@ func CASFailure(t *threading.Thread) {
 func Inflation(t *threading.Thread, o *object.Object, cause InflationCause) {
 	if p := active.Load(); p != nil {
 		p.Inflation(t, o, cause)
+	}
+}
+
+// Revocation records a bias revocation on the installed Profiler;
+// no-op when disabled.
+func Revocation(t *threading.Thread, o *object.Object, cause InflationCause) {
+	if p := active.Load(); p != nil {
+		p.Revocation(t, o, cause)
 	}
 }
 

@@ -48,6 +48,11 @@ type SiteRecord struct {
 	CASFailures atomic.Uint64
 	// Inflations counts inflations triggered at this site, by cause.
 	Inflations [NumCauses]atomic.Uint64
+	// Revocations counts bias revocations triggered at this site, by
+	// cause (the causes mirror inflation: contention by a second thread,
+	// nested overflow past the biased depth limit, or a Wait). Only the
+	// biased implementation feeds these.
+	Revocations [NumCauses]atomic.Uint64
 	// ParkNs accumulates time sampled acquisitions from this site spent
 	// parked (contention queue or monitor entry queue).
 	ParkNs atomic.Uint64
@@ -72,6 +77,15 @@ func (r *SiteRecord) InflationTotal() uint64 {
 	return n
 }
 
+// RevocationTotal sums the revocation counters across causes.
+func (r *SiteRecord) RevocationTotal() uint64 {
+	var n uint64
+	for c := range r.Revocations {
+		n += r.Revocations[c].Load()
+	}
+	return n
+}
+
 // ObjectRecord accumulates events attributed to one lock object — the
 // per-monitor provenance view (which objects are hot, per the paper's
 // Figure 4/5 locality-of-contention discussion).
@@ -85,6 +99,8 @@ type ObjectRecord struct {
 	SlowEntries atomic.Uint64
 	// Inflations counts inflations of this object (any cause).
 	Inflations atomic.Uint64
+	// Revocations counts bias revocations of this object (any cause).
+	Revocations atomic.Uint64
 	// ParkNs accumulates park time spent acquiring this object.
 	ParkNs atomic.Uint64
 	// DelayNs accumulates slow-path acquisition latency for this object.

@@ -22,6 +22,7 @@ type SiteStat struct {
 	SlowEntries uint64            `json:"slow_entries"`
 	CASFailures uint64            `json:"cas_failures"`
 	Inflations  map[string]uint64 `json:"inflations,omitempty"`
+	Revocations map[string]uint64 `json:"revocations,omitempty"`
 	ParkNs      uint64            `json:"park_ns"`
 	DelayNs     uint64            `json:"delay_ns"`
 	HoldNs      uint64            `json:"hold_ns"`
@@ -38,6 +39,15 @@ func (s SiteStat) InflationTotal() uint64 {
 	return n
 }
 
+// RevocationTotal sums the per-cause bias revocation counts.
+func (s SiteStat) RevocationTotal() uint64 {
+	var n uint64
+	for _, v := range s.Revocations {
+		n += v
+	}
+	return n
+}
+
 // ObjectStat is one lock object's immutable snapshot.
 type ObjectStat struct {
 	ID    uint64 `json:"id"`
@@ -45,6 +55,7 @@ type ObjectStat struct {
 
 	SlowEntries uint64 `json:"slow_entries"`
 	Inflations  uint64 `json:"inflations"`
+	Revocations uint64 `json:"revocations,omitempty"`
 	ParkNs      uint64 `json:"park_ns"`
 	DelayNs     uint64 `json:"delay_ns"`
 	HoldNs      uint64 `json:"hold_ns"`
@@ -102,6 +113,12 @@ func (p *Profiler) Snapshot() *Snapshot {
 				}
 				st.Inflations[c.String()] = n
 			}
+			if n := r.Revocations[c].Load(); n > 0 {
+				if st.Revocations == nil {
+					st.Revocations = make(map[string]uint64, int(NumCauses))
+				}
+				st.Revocations[c.String()] = n
+			}
 		}
 		snap.Sites = append(snap.Sites, st)
 	}
@@ -123,6 +140,7 @@ func (p *Profiler) Snapshot() *Snapshot {
 			Class:       r.Class,
 			SlowEntries: r.SlowEntries.Load(),
 			Inflations:  r.Inflations.Load(),
+			Revocations: r.Revocations.Load(),
 			ParkNs:      r.ParkNs.Load(),
 			DelayNs:     r.DelayNs.Load(),
 			HoldNs:      r.HoldNs.Load(),
@@ -178,6 +196,12 @@ func mergeSitesByLabel(sites []SiteStat) []SiteStat {
 				dst.Inflations = make(map[string]uint64, int(NumCauses))
 			}
 			dst.Inflations[cause] += n
+		}
+		for cause, n := range st.Revocations {
+			if dst.Revocations == nil {
+				dst.Revocations = make(map[string]uint64, int(NumCauses))
+			}
+			dst.Revocations[cause] += n
 		}
 	}
 	return out
@@ -308,6 +332,19 @@ func (s *Snapshot) WritePrometheus(w io.Writer, topN int) error {
 	}
 	for _, st := range sites {
 		for _, cc := range sortedCauses(st.Inflations) {
+			if _, err := fmt.Fprintf(w, "%s{site=\"%s\",kind=\"%s\",cause=\"%s\"} %d\n",
+				name, telemetry.EscapeLabelValue(st.Label), st.Kind, cc.cause, cc.count); err != nil {
+				return err
+			}
+		}
+	}
+
+	name = telemetry.PromPrefix + "lockprof_revocations_total"
+	if _, err := fmt.Fprintf(w, "# HELP %s Bias revocations by site and cause.\n# TYPE %s counter\n", name, name); err != nil {
+		return err
+	}
+	for _, st := range sites {
+		for _, cc := range sortedCauses(st.Revocations) {
 			if _, err := fmt.Fprintf(w, "%s{site=\"%s\",kind=\"%s\",cause=\"%s\"} %d\n",
 				name, telemetry.EscapeLabelValue(st.Label), st.Kind, cc.cause, cc.count); err != nil {
 				return err

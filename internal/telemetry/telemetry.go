@@ -99,6 +99,28 @@ const (
 	CtrHotPromotions
 	// CtrColdSweeps counts IBM112 cold-cache cleanup scans.
 	CtrColdSweeps
+	// CtrBiasInstalls counts bias reservations installed on previously
+	// unlocked objects.
+	CtrBiasInstalls
+	// CtrBiasedAcquires counts lock acquisitions served by the biased
+	// owner fast path (no read-modify-write atomics).
+	CtrBiasedAcquires
+	// CtrBiasTransfers counts stale-epoch reservations transferred to a
+	// new owner without a full revocation.
+	CtrBiasTransfers
+	// CtrBiasRevocationsContention counts revocations forced by a second
+	// thread contending for a biased object.
+	CtrBiasRevocationsContention
+	// CtrBiasRevocationsWait counts owner self-revocations forced by
+	// Wait on a biased object.
+	CtrBiasRevocationsWait
+	// CtrBiasRevocationsOverflow counts owner self-revocations forced by
+	// recursion past the biased depth limit.
+	CtrBiasRevocationsOverflow
+	// CtrBulkRebiases counts class-epoch bumps (bulk rebias heuristic).
+	CtrBulkRebiases
+	// CtrBulkRevokes counts classes declared unbiasable (bulk revoke).
+	CtrBulkRevokes
 
 	// NumCounters is the number of defined counters.
 	NumCounters
@@ -131,6 +153,15 @@ var counterNames = [NumCounters]string{
 	CtrColdOps:                 "cold_ops",
 	CtrHotPromotions:           "hot_promotions",
 	CtrColdSweeps:              "cold_sweeps",
+	CtrBiasInstalls:            "bias_installs",
+	CtrBiasedAcquires:          "biased_acquires",
+	CtrBiasTransfers:           "bias_transfers",
+
+	CtrBiasRevocationsContention: "bias_revocations_contention",
+	CtrBiasRevocationsWait:       "bias_revocations_wait",
+	CtrBiasRevocationsOverflow:   "bias_revocations_overflow",
+	CtrBulkRebiases:              "bulk_rebiases",
+	CtrBulkRevokes:               "bulk_revokes",
 }
 
 // Name returns the counter's stable metric name.
@@ -151,6 +182,11 @@ const (
 	// HistMonitorStallNs is the time a thread spent blocked in a
 	// monitor's entry queue, in nanoseconds.
 	HistMonitorStallNs
+	// HistBiasHandshakeNs is the time a thread stalled in the bias
+	// revocation handshake: the owner reconciling against a revocation
+	// of its reservation, or a contender waiting out the revocation
+	// sentinel.
+	HistBiasHandshakeNs
 	// HistEntryQueueDepth is the entry-queue depth observed each time a
 	// thread joined a monitor's entry queue.
 	HistEntryQueueDepth
@@ -162,6 +198,7 @@ const (
 var histoNames = [NumHistos]string{
 	HistAcquireSlowNs:   "acquire_slow_ns",
 	HistMonitorStallNs:  "monitor_stall_ns",
+	HistBiasHandshakeNs: "bias_handshake_ns",
 	HistEntryQueueDepth: "entry_queue_depth",
 }
 

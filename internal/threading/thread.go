@@ -67,6 +67,10 @@ type Thread struct {
 	frameMethod string
 	framePC     int32
 	frameSet    bool
+
+	// biasSlots holds the thread's lock reservations (see bias.go).
+	// Written only by the owning goroutine; read by revoking threads.
+	biasSlots [BiasSlots]BiasSlot
 }
 
 // Interruptible is implemented by blocked states (e.g. a monitor wait

@@ -118,6 +118,13 @@ func All() []Workload {
 			Run:         runCrema,
 		},
 		{
+			Name:        "sessiond",
+			Source:      "(this repository) single-owner session processor",
+			Description: "one thread reacquiring a small long-lived working set; lock reservation's best case",
+			DefaultSize: 25,
+			Run:         runSessiond,
+		},
+		{
 			Name:        "minibank",
 			Source:      "(this repository) MiniJava program on the bytecode VM",
 			Description: "compiled synchronized methods + blocks through the interpreter",

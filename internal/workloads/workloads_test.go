@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"thinlock/internal/biased"
 	"thinlock/internal/core"
 	"thinlock/internal/hotlocks"
 	"thinlock/internal/jcl"
@@ -28,8 +29,8 @@ func runOnce(t *testing.T, w Workload, l lockapi.Locker, size int) uint64 {
 func TestAllWorkloadsAreWellFormed(t *testing.T) {
 	t.Parallel()
 	suite := All()
-	if len(suite) != 12 {
-		t.Fatalf("suite has %d workloads, want 12", len(suite))
+	if len(suite) != 13 {
+		t.Fatalf("suite has %d workloads, want 13", len(suite))
 	}
 	seen := make(map[string]bool)
 	for _, w := range suite {
@@ -86,8 +87,9 @@ func TestWorkloadsAgreeAcrossImplementations(t *testing.T) {
 			thin := runOnce(t, w, core.NewDefault(), 2)
 			jdk := runOnce(t, w, monitorcache.NewDefault(), 2)
 			ibm := runOnce(t, w, hotlocks.NewDefault(), 2)
-			if thin != jdk || jdk != ibm {
-				t.Fatalf("checksums diverge: thin=%#x jdk=%#x ibm=%#x", thin, jdk, ibm)
+			bia := runOnce(t, w, biased.NewDefault(), 2)
+			if thin != jdk || jdk != ibm || ibm != bia {
+				t.Fatalf("checksums diverge: thin=%#x jdk=%#x ibm=%#x biased=%#x", thin, jdk, ibm, bia)
 			}
 		})
 	}
