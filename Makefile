@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test vet race race-locks check explore fuzz-smoke obs-smoke bench-baseline bench-diff
+.PHONY: all build test vet race race-locks check explore fuzz-smoke obs-smoke deadlock-smoke bench-baseline bench-diff
 
 all: vet build test
 
@@ -52,6 +52,14 @@ obs-smoke: build
 		./internal/locktrace/ ./internal/telemetry/ ./internal/lockprof/
 	GO="$(GO)" scripts/obs_smoke_serve.sh results/obs
 
+# deadlock-smoke exercises the lock-order watchdog end to end:
+# scripts/deadlock_smoke.sh runs the abba workload (latent ABBA must be
+# flagged without a hang), the safe dining workload (must stay silent),
+# the dining-deadlock hazard under -watchdog (stall dump must name all
+# five philosophers and exit 3), and the disabled-path overhead tests.
+deadlock-smoke: build
+	GO="$(GO)" scripts/deadlock_smoke.sh results/deadlock
+
 # bench-baseline regenerates the committed performance floor under
 # results/baseline (scale/samples chosen to finish in seconds; the
 # matching bench-diff threshold is loose for the same reason).
@@ -59,7 +67,9 @@ bench-baseline: build
 	$(GO) run ./cmd/macrobench -json -json-dir results/baseline \
 		-scale 0.2 -samples 3 -only minibank,bankmt,sessiond
 
-# bench-diff measures the same three workloads now and compares against
+# bench-diff measures the baseline workloads (plus the newer dining and
+# abba workloads, which have no committed baseline and therefore come
+# back as per-workload SKIPs, exercising that path) and compares against
 # the committed baseline. The 2.5 (250%) threshold is deliberately
 # loose: CI machines are noisy and the baseline was recorded elsewhere,
 # so this gate only catches order-of-magnitude protocol regressions
@@ -67,7 +77,7 @@ bench-baseline: build
 bench-diff: build
 	mkdir -p results/head
 	$(GO) run ./cmd/macrobench -json -json-dir results/head \
-		-scale 0.2 -samples 3 -only minibank,bankmt,sessiond
+		-scale 0.2 -samples 3 -only minibank,bankmt,sessiond,dining,abba
 	$(GO) run ./cmd/benchdiff -threshold 2.5 results/baseline results/head
 
 # fuzz-smoke gives each fuzzer a short budget on top of its seed

@@ -46,13 +46,17 @@ type diffRow struct {
 
 // computeDiff matches the two sides and flags every row whose slowdown
 // exceeds threshold (0.10 = fail at >10% slower). Keys present on only
-// one side are returned separately — a vanished benchmark must be
-// visible, not silently ignored.
-func computeDiff(old, new map[timingKey]bench.JSONResult, threshold float64) (rows []diffRow, regressed []diffRow, unmatched []string) {
+// one side are returned separately. A vanished benchmark (only in old)
+// must be visible, not silently ignored. A key only in new is normal
+// growth — a freshly added workload with no baseline committed yet —
+// and is reported as a per-workload skip, never a failure: requiring a
+// baseline for a brand-new benchmark would force every workload
+// addition into two PRs.
+func computeDiff(old, new map[timingKey]bench.JSONResult, threshold float64) (rows []diffRow, regressed []diffRow, vanished, skipped []string) {
 	for k, o := range old {
 		n, ok := new[k]
 		if !ok {
-			unmatched = append(unmatched, k.String()+" (only in old)")
+			vanished = append(vanished, k.String())
 			continue
 		}
 		r := diffRow{Key: k, OldNsPerOp: o.NsPerOp, NewNsPerOp: n.NsPerOp}
@@ -66,13 +70,14 @@ func computeDiff(old, new map[timingKey]bench.JSONResult, threshold float64) (ro
 	}
 	for k := range new {
 		if _, ok := old[k]; !ok {
-			unmatched = append(unmatched, k.String()+" (only in new)")
+			skipped = append(skipped, k.String())
 		}
 	}
 	sort.Slice(rows, func(i, j int) bool { return rows[i].Ratio > rows[j].Ratio })
 	sort.Slice(regressed, func(i, j int) bool { return regressed[i].Ratio > regressed[j].Ratio })
-	sort.Strings(unmatched)
-	return rows, regressed, unmatched
+	sort.Strings(vanished)
+	sort.Strings(skipped)
+	return rows, regressed, vanished, skipped
 }
 
 // index flattens parsed files into the comparison map.
@@ -149,7 +154,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	rows, regressed, unmatched := computeDiff(index(oldFiles), index(newFiles), *threshold)
+	rows, regressed, vanished, skipped := computeDiff(index(oldFiles), index(newFiles), *threshold)
 	fmt.Printf("benchdiff: old=%s new=%s threshold=%.0f%%\n",
 		provenance(oldFiles), provenance(newFiles), 100**threshold)
 	fmt.Printf("%-36s %14s %14s %8s\n", "benchmark/impl", "old ns/op", "new ns/op", "delta")
@@ -158,8 +163,11 @@ func main() {
 		fmt.Printf("%-36s %14.0f %14.0f %+7.1f%%\n",
 			r.Key, r.OldNsPerOp, r.NewNsPerOp, 100*(r.Ratio-1))
 	}
-	for _, u := range unmatched {
-		fmt.Printf("%-36s (unmatched)\n", u)
+	for _, v := range vanished {
+		fmt.Printf("%-36s (only in old: benchmark vanished)\n", v)
+	}
+	for _, s := range skipped {
+		fmt.Printf("SKIP %s (no baseline committed)\n", s)
 	}
 	if len(regressed) > 0 {
 		fmt.Printf("\nFAIL: %d regression(s) beyond %.0f%%:\n", len(regressed), 100**threshold)
@@ -169,5 +177,9 @@ func main() {
 		}
 		os.Exit(1)
 	}
-	fmt.Printf("\nOK: no regression beyond %.0f%% across %d matched timings\n", 100**threshold, len(rows))
+	summary := fmt.Sprintf("\nOK: no regression beyond %.0f%% across %d matched timings", 100**threshold, len(rows))
+	if len(skipped) > 0 {
+		summary += fmt.Sprintf(" (%d skipped: no baseline)", len(skipped))
+	}
+	fmt.Println(summary)
 }

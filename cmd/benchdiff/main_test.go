@@ -24,9 +24,9 @@ func TestComputeDiffFlagsOnlyRealRegressions(t *testing.T) {
 		{Workload: "bankmt", Impl: "JDK111"}:    result("JDK111", 420),   // +5%: within threshold
 		{Workload: "javalex", Impl: "ThinLock"}: result("ThinLock", 40),  // improvement
 	}
-	rows, regressed, unmatched := computeDiff(old, new, 0.10)
-	if len(rows) != 3 || len(unmatched) != 0 {
-		t.Fatalf("rows=%d unmatched=%v, want 3 matched rows", len(rows), unmatched)
+	rows, regressed, vanished, skipped := computeDiff(old, new, 0.10)
+	if len(rows) != 3 || len(vanished) != 0 || len(skipped) != 0 {
+		t.Fatalf("rows=%d vanished=%v skipped=%v, want 3 matched rows", len(rows), vanished, skipped)
 	}
 	if len(regressed) != 1 || regressed[0].Key.Workload != "bankmt" || regressed[0].Key.Impl != "ThinLock" {
 		t.Fatalf("regressed = %+v, want exactly bankmt/ThinLock", regressed)
@@ -47,12 +47,43 @@ func TestComputeDiffReportsUnmatchedSides(t *testing.T) {
 	new := map[timingKey]bench.JSONResult{
 		{Workload: "added", Impl: "ThinLock"}: result("ThinLock", 10),
 	}
-	rows, regressed, unmatched := computeDiff(old, new, 0.10)
+	rows, regressed, vanished, skipped := computeDiff(old, new, 0.10)
 	if len(rows) != 0 || len(regressed) != 0 {
 		t.Fatalf("rows=%d regressed=%d, want none matched", len(rows), len(regressed))
 	}
-	if len(unmatched) != 2 {
-		t.Fatalf("unmatched = %v, want both sides reported", unmatched)
+	if len(vanished) != 1 || vanished[0] != "gone/ThinLock" {
+		t.Fatalf("vanished = %v, want [gone/ThinLock]", vanished)
+	}
+	if len(skipped) != 1 || skipped[0] != "added/ThinLock" {
+		t.Fatalf("skipped = %v, want [added/ThinLock]", skipped)
+	}
+}
+
+// A freshly added workload has head timings but no committed baseline.
+// Every one of its rows must come back as a skip — never as a
+// regression or a match — so growing the suite keeps exit status 0.
+func TestComputeDiffSkipsWorkloadsWithNoBaseline(t *testing.T) {
+	old := map[timingKey]bench.JSONResult{
+		{Workload: "bankmt", Impl: "ThinLock"}: result("ThinLock", 100),
+	}
+	new := map[timingKey]bench.JSONResult{
+		{Workload: "bankmt", Impl: "ThinLock"}: result("ThinLock", 101),
+		{Workload: "dining", Impl: "ThinLock"}: result("ThinLock", 9999),
+		{Workload: "dining", Impl: "JDK111"}:   result("JDK111", 9999),
+		{Workload: "abba", Impl: "ThinLock"}:   result("ThinLock", 9999),
+	}
+	rows, regressed, vanished, skipped := computeDiff(old, new, 0.10)
+	if len(rows) != 1 || len(regressed) != 0 || len(vanished) != 0 {
+		t.Fatalf("rows=%d regressed=%d vanished=%v, want 1 clean match", len(rows), len(regressed), vanished)
+	}
+	want := []string{"abba/ThinLock", "dining/JDK111", "dining/ThinLock"}
+	if len(skipped) != len(want) {
+		t.Fatalf("skipped = %v, want %v", skipped, want)
+	}
+	for i := range want {
+		if skipped[i] != want[i] {
+			t.Fatalf("skipped = %v, want %v", skipped, want)
+		}
 	}
 }
 
@@ -63,7 +94,7 @@ func TestComputeDiffThresholdBoundaryIsExclusive(t *testing.T) {
 	new := map[timingKey]bench.JSONResult{
 		{Workload: "w", Impl: "A"}: result("A", 110), // exactly +10%
 	}
-	if _, regressed, _ := computeDiff(old, new, 0.10); len(regressed) != 0 {
+	if _, regressed, _, _ := computeDiff(old, new, 0.10); len(regressed) != 0 {
 		t.Errorf("exactly-at-threshold flagged as regression: %+v", regressed)
 	}
 }

@@ -12,6 +12,7 @@
 //	        [-json file] [-prom file] [-trace file] [-pprof file]
 //	        [-top N] [-prof-rate N] [-repeat N]
 //	        [-serve addr] [-hold D]
+//	        [-lockdep] [-lockdep-dot file] [-watchdog D]
 //
 // Output files use "-" for stdout. The trace wraps the locker in the
 // locktrace recorder, which serializes events through a mutex; leave it
@@ -25,13 +26,30 @@
 //	/debug/vars                  merged JSON snapshot
 //	/debug/lockprof/top          top-N hot locks
 //	/debug/pprof/lockcontention  pprof contention profile
+//	/debug/lockdep/graph         lock-order graph (DOT or JSON)
+//	/debug/lockdep/waitfor       live wait-for snapshot + cycle detector
+//	/debug/lockdep/report        full lockdep report
+//
+// A SIGINT or SIGTERM drains the HTTP server gracefully (in-flight
+// scrapes complete), prints a final telemetry snapshot, and exits 0.
 //
 // -repeat reruns the workload to lengthen the observation window, and
 // -hold keeps the server up after the last run so scrapers can collect
 // the final state.
+//
+// -lockdep enables the lock-order watchdog and prints its report
+// (inversions, wait-for state) after the run; -lockdep-dot also writes
+// the order graph in Graphviz DOT. -watchdog D enables lockdep plus the
+// stall watchdog: any blocking episode longer than D dumps the flight
+// recorder to stderr and exits with status 3 — run the deliberately
+// deadlocking hazard workloads (see -list) under it to see a full
+// deadlock diagnosis. The hazard workloads park their contenders only
+// on the queued-inflation thin-lock build, selectable as
+// -impl ThinLock-queued.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -39,12 +57,16 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"thinlock/internal/bench"
+	"thinlock/internal/core"
 	"thinlock/internal/jcl"
 	"thinlock/internal/lockapi"
+	"thinlock/internal/lockdep"
 	"thinlock/internal/lockprof"
 	"thinlock/internal/locktrace"
 	"thinlock/internal/object"
@@ -69,6 +91,9 @@ func main() {
 	repeat := flag.Int("repeat", 1, "run the workload this many times")
 	serve := flag.String("serve", "", "serve live observability HTTP endpoints on this address (e.g. :8080 or 127.0.0.1:0)")
 	hold := flag.Duration("hold", 0, "with -serve, keep serving this long after the last run")
+	useLockdep := flag.Bool("lockdep", false, "enable the lock-order watchdog; print its report after the run")
+	lockdepDot := flag.String("lockdep-dot", "", "write the lock-order graph in Graphviz DOT to this file (- for stdout; implies -lockdep)")
+	watchdog := flag.Duration("watchdog", 0, "stall threshold (implies -lockdep): a wait this long dumps the flight recorder to stderr and exits 3")
 	flag.Parse()
 
 	fail := func(format string, args ...any) {
@@ -86,10 +111,15 @@ func main() {
 			fmt.Printf("  %s %-12s (default size %d) %s\n", mark, w.Name, w.DefaultSize, w.Description)
 		}
 		fmt.Println("  (* = concurrent)")
+		fmt.Println("hazard workloads (deadlock by design; run only under -watchdog):")
+		for _, w := range workloads.Hazards() {
+			fmt.Printf("  ! %-12s (default size %d) %s\n", w.Name, w.DefaultSize, w.Description)
+		}
 		fmt.Println("implementations:")
 		for _, f := range bench.StandardImpls() {
 			fmt.Printf("    %s\n", f.Name)
 		}
+		fmt.Println("    ThinLock-queued (thin locks with parking queues; required for hazard workloads)")
 		return
 	}
 
@@ -99,7 +129,15 @@ func main() {
 	}
 	f, ok := bench.Lookup(bench.StandardImpls(), *impl)
 	if !ok {
-		fail("unknown implementation %q (try -list)", *impl)
+		// The hazard workloads need contenders that park rather than
+		// spin, so a deadlocked table idles instead of pegging cores.
+		if *impl == "ThinLock-queued" {
+			f = bench.Factory{Name: *impl, New: func() lockapi.Locker {
+				return core.New(core.Options{QueuedInflation: true})
+			}}
+		} else {
+			fail("unknown implementation %q (try -list)", *impl)
+		}
 	}
 	n := *size
 	if n <= 0 {
@@ -121,6 +159,28 @@ func main() {
 	prof := lockprof.Enable(lockprof.New(lockprof.Config{SampleEvery: *profRate}))
 	defer lockprof.Disable()
 
+	if *watchdog > 0 || *lockdepDot != "" {
+		*useLockdep = true
+	}
+	var ld *lockdep.Lockdep
+	if *useLockdep {
+		ld = lockdep.Enable(lockdep.New(lockdep.Config{}))
+		defer lockdep.Disable()
+	}
+	if *watchdog > 0 {
+		wd := ld.StartWatchdog(lockdep.WatchdogOptions{
+			Threshold: *watchdog,
+			OnStall: func(sd lockdep.StallDump) {
+				// A stall is the terminal diagnosis this mode exists for:
+				// dump the flight recorder and exit distinctly so scripts
+				// can assert "the watchdog fired" by status alone.
+				sd.WriteText(os.Stderr)
+				os.Exit(3)
+			},
+		})
+		defer wd.Stop()
+	}
+
 	if *serve != "" {
 		ln, err := net.Listen("tcp", *serve)
 		if err != nil {
@@ -136,6 +196,21 @@ func main() {
 			}
 		}()
 		defer srv.Close()
+		// Graceful shutdown: drain in-flight scrapes, print a last
+		// snapshot so the run is not lost, and exit cleanly.
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		go func() {
+			s := <-sig
+			fmt.Fprintf(os.Stderr, "lockmon: %v: shutting down\n", s)
+			shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			if err := srv.Shutdown(shutdownCtx); err != nil {
+				fmt.Fprintf(os.Stderr, "lockmon: shutdown: %v\n", err)
+			}
+			fmt.Print(m.Snapshot().String())
+			os.Exit(0)
+		}()
 	}
 
 	ctx := jcl.NewContext(locker, object.NewHeap())
@@ -220,6 +295,19 @@ func main() {
 			fail("trace self-check: %v", err)
 		}
 		fmt.Printf("trace: %d events (load in ui.perfetto.dev)\n", len(events))
+	}
+
+	if *useLockdep {
+		fmt.Println()
+		ld.WriteReport(os.Stdout)
+	}
+	if *lockdepDot != "" {
+		if err := writeTo(*lockdepDot, func(w io.Writer) error {
+			ld.WriteDOT(w)
+			return nil
+		}); err != nil {
+			fail("lockdep dot: %v", err)
+		}
 	}
 
 	if *serve != "" && *hold > 0 {

@@ -50,6 +50,7 @@ import (
 
 	"thinlock/internal/arch"
 	"thinlock/internal/core"
+	"thinlock/internal/lockdep"
 	"thinlock/internal/lockprof"
 	"thinlock/internal/monitor"
 	"thinlock/internal/object"
@@ -284,6 +285,13 @@ func (l *Locker) classFor(class string) *classBias {
 // validate that the reservation still stands. No compare-and-swap, no
 // fence beyond the store itself, and no write to shared memory at all.
 func (l *Locker) Lock(t *threading.Thread, o *object.Object) {
+	l.lockBody(t, o)
+	if d := lockdep.Active(); d != nil {
+		d.Acquired(t, o)
+	}
+}
+
+func (l *Locker) lockBody(t *threading.Thread, o *object.Object) {
 	if s := t.BiasSlotFor(o.ID()); s != nil {
 		if d := s.Depth(); d < maxBiasDepth {
 			s.SetDepth(d + 1) // Dekker publish
@@ -307,6 +315,16 @@ func (l *Locker) Lock(t *threading.Thread, o *object.Object) {
 // mirrors Lock: one plain store of the decremented depth, one
 // validating load.
 func (l *Locker) Unlock(t *threading.Thread, o *object.Object) error {
+	err := l.unlockBody(t, o)
+	if err == nil {
+		if d := lockdep.Active(); d != nil {
+			d.Released(t, o)
+		}
+	}
+	return err
+}
+
+func (l *Locker) unlockBody(t *threading.Thread, o *object.Object) error {
 	if s := t.BiasSlotFor(o.ID()); s != nil {
 		if d := s.Depth(); d > 0 {
 			s.SetDepth(d - 1) // Dekker publish
@@ -332,6 +350,16 @@ func (l *Locker) Unlock(t *threading.Thread, o *object.Object) error {
 // reservation is self-revoked straight to a fat lock; a thin-held
 // object inflates as in the paper.
 func (l *Locker) Wait(t *threading.Thread, o *object.Object, d time.Duration) (bool, error) {
+	if ld := lockdep.Active(); ld != nil {
+		ld.CondWaitBegin(t, o)
+		ok, err := l.waitBody(t, o, d)
+		ld.CondWaitEnd(t, o)
+		return ok, err
+	}
+	return l.waitBody(t, o, d)
+}
+
+func (l *Locker) waitBody(t *threading.Thread, o *object.Object, d time.Duration) (bool, error) {
 	if s := t.BiasSlotFor(o.ID()); s != nil && s.Depth() > 0 {
 		if m := l.waitRevoke(t, o, s); m != nil {
 			return m.Wait(t, d)

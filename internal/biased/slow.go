@@ -6,6 +6,7 @@ import (
 
 	"thinlock/internal/arch"
 	"thinlock/internal/core"
+	"thinlock/internal/lockdep"
 	"thinlock/internal/lockprof"
 	"thinlock/internal/monitor"
 	"thinlock/internal/object"
@@ -59,6 +60,7 @@ func (l *Locker) lockSlowBody(t *threading.Thread, o *object.Object) {
 			return
 
 		case core.IsInflated(w):
+			lockdep.Blocked(t, o, lockdep.WaitFat)
 			l.table.Get(core.FatIndex(w)).Enter(t)
 			return
 
@@ -66,6 +68,7 @@ func (l *Locker) lockSlowBody(t *threading.Thread, o *object.Object) {
 			// Another thread is mid-revocation (possibly of our own
 			// reservation); it owns the word until it publishes the
 			// walked state.
+			lockdep.Blocked(t, o, lockdep.WaitRevocation)
 			l.spinRounds.Add(1)
 			telemetry.Inc(t, telemetry.CtrSpinRounds)
 			b.Pause()
@@ -121,6 +124,7 @@ func (l *Locker) lockSlowBody(t *threading.Thread, o *object.Object) {
 		default:
 			// Thin-locked by another thread: spin with back-off until
 			// the owner releases.
+			lockdep.Blocked(t, o, lockdep.WaitSpin)
 			spun = true
 			l.spinRounds.Add(1)
 			telemetry.Inc(t, telemetry.CtrSpinRounds)
@@ -214,6 +218,9 @@ func (l *Locker) awaitRevocation(t *threading.Thread, o *object.Object) {
 	if tel != nil {
 		start = telemetry.Now()
 	}
+	// This path does not end in an acquisition (unlock and wait also
+	// ride out sentinels), so the wait-for edge is cleared explicitly.
+	lockdep.Blocked(t, o, lockdep.WaitRevocation)
 	var b arch.Backoff
 	for core.IsBiasRevoking(atomic.LoadUint32(hp)) {
 		if b.Rounds() >= 8 {
@@ -222,6 +229,7 @@ func (l *Locker) awaitRevocation(t *threading.Thread, o *object.Object) {
 			b.Pause()
 		}
 	}
+	lockdep.Unblocked(t)
 	if tel != nil {
 		tel.Observe(t, telemetry.HistBiasHandshakeNs, telemetry.Now()-start)
 	}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"thinlock/internal/arch"
+	"thinlock/internal/lockdep"
 	"thinlock/internal/lockprof"
 	"thinlock/internal/monitor"
 	"thinlock/internal/object"
@@ -214,8 +215,19 @@ func (l *ThinLocks) Stats() Stats {
 	}
 }
 
-// Lock acquires o's monitor for t (§2.3.1, §2.3.3, §2.3.4).
+// Lock acquires o's monitor for t (§2.3.1, §2.3.3, §2.3.4). The
+// lockdep hook runs after the acquisition so the order graph sees
+// every lock exactly when it is held; disabled it costs one atomic
+// load and a not-taken branch (lockdep needs every acquisition, not a
+// sample — see the lockdep package comment).
 func (l *ThinLocks) Lock(t *threading.Thread, o *object.Object) {
+	l.lockDispatch(t, o)
+	if d := lockdep.Active(); d != nil && l.variant != VariantNOP {
+		d.Acquired(t, o)
+	}
+}
+
+func (l *ThinLocks) lockDispatch(t *threading.Thread, o *object.Object) {
 	switch l.variant {
 	case VariantStandard:
 		// The dynamic machine-type test of §3.5.1: selected on every
@@ -318,6 +330,7 @@ func (l *ThinLocks) lockSlowBody(t *threading.Thread, o *object.Object, cpu arch
 			return
 
 		case IsInflated(w):
+			lockdep.Blocked(t, o, lockdep.WaitFat)
 			m := l.table.Get(FatIndex(w))
 			if l.enterFat(m, t) {
 				if fence {
@@ -372,8 +385,10 @@ func (l *ThinLocks) lockSlowBody(t *threading.Thread, o *object.Object, cpu arch
 			// exponential back-off until the owner releases (§2.3.4).
 			spun = true
 			if l.queued {
+				lockdep.Blocked(t, o, lockdep.WaitQueued)
 				l.queueWait(t, o)
 			} else {
+				lockdep.Blocked(t, o, lockdep.WaitSpin)
 				l.spinRounds.Add(1)
 				telemetry.Inc(t, telemetry.CtrSpinRounds)
 				b.Pause()
@@ -412,6 +427,16 @@ func (l *ThinLocks) inflate(t *threading.Thread, o *object.Object, locks uint32)
 
 // Unlock releases one level of o's monitor (§2.3.2).
 func (l *ThinLocks) Unlock(t *threading.Thread, o *object.Object) error {
+	err := l.unlockDispatch(t, o)
+	if err == nil {
+		if d := lockdep.Active(); d != nil && l.variant != VariantNOP {
+			d.Released(t, o)
+		}
+	}
+	return err
+}
+
+func (l *ThinLocks) unlockDispatch(t *threading.Thread, o *object.Object) error {
 	switch l.variant {
 	case VariantStandard:
 		switch l.cpu {
@@ -539,6 +564,16 @@ func (l *ThinLocks) unlockSlow(t *threading.Thread, o *object.Object, fence, use
 // Wait implements lockapi.Locker. Waiting requires queues, so a
 // thin-locked object is first inflated at its current nesting depth.
 func (l *ThinLocks) Wait(t *threading.Thread, o *object.Object, d time.Duration) (bool, error) {
+	if ld := lockdep.Active(); ld != nil {
+		ld.CondWaitBegin(t, o)
+		ok, err := l.waitBody(t, o, d)
+		ld.CondWaitEnd(t, o)
+		return ok, err
+	}
+	return l.waitBody(t, o, d)
+}
+
+func (l *ThinLocks) waitBody(t *threading.Thread, o *object.Object, d time.Duration) (bool, error) {
 	w := o.Header()
 	if IsInflated(w) {
 		return l.table.Get(FatIndex(w)).Wait(t, d)

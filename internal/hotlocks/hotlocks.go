@@ -25,6 +25,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"thinlock/internal/lockdep"
 	"thinlock/internal/lockprof"
 	"thinlock/internal/monitor"
 	"thinlock/internal/object"
@@ -233,18 +234,23 @@ func (h *HotLocks) Lock(t *threading.Thread, o *object.Object) {
 		start := telemetry.Now()
 		h.lockBody(t, o)
 		p.SlowPathExit(t, o, telemetry.Now()-start)
-		return
+	} else {
+		h.lockBody(t, o)
 	}
-	h.lockBody(t, o)
+	if d := lockdep.Active(); d != nil {
+		d.Acquired(t, o)
+	}
 }
 
 func (h *HotLocks) lockBody(t *threading.Thread, o *object.Object) {
 	w := o.Header()
 	if w&hotBit != 0 {
+		lockdep.Blocked(t, o, lockdep.WaitFat)
 		h.hot(t, w).Enter(t)
 		return
 	}
 	e, slot := h.coldLookup(t, o, true)
+	lockdep.Blocked(t, o, lockdep.WaitFat)
 	e.mon.Enter(t)
 	if slot >= 0 {
 		// Promote: we own the monitor, so no thread is inside a
@@ -264,6 +270,16 @@ func (h *HotLocks) lockBody(t *threading.Thread, o *object.Object) {
 
 // Unlock implements lockapi.Locker.
 func (h *HotLocks) Unlock(t *threading.Thread, o *object.Object) error {
+	err := h.unlockBody(t, o)
+	if err == nil {
+		if d := lockdep.Active(); d != nil {
+			d.Released(t, o)
+		}
+	}
+	return err
+}
+
+func (h *HotLocks) unlockBody(t *threading.Thread, o *object.Object) error {
 	lockprof.UnlockSlow(t, o)
 	w := o.Header()
 	if w&hotBit != 0 {
@@ -285,6 +301,16 @@ func (h *HotLocks) Unlock(t *threading.Thread, o *object.Object) error {
 
 // Wait implements lockapi.Locker.
 func (h *HotLocks) Wait(t *threading.Thread, o *object.Object, d time.Duration) (bool, error) {
+	if ld := lockdep.Active(); ld != nil {
+		ld.CondWaitBegin(t, o)
+		notified, err := h.waitBody(t, o, d)
+		ld.CondWaitEnd(t, o)
+		return notified, err
+	}
+	return h.waitBody(t, o, d)
+}
+
+func (h *HotLocks) waitBody(t *threading.Thread, o *object.Object, d time.Duration) (bool, error) {
 	w := o.Header()
 	if w&hotBit != 0 {
 		return h.hot(t, w).Wait(t, d)

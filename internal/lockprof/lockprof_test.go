@@ -6,6 +6,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"unicode/utf8"
 
 	"thinlock/internal/core"
 	"thinlock/internal/lockprof"
@@ -201,6 +202,31 @@ func TestSnapshotPrometheusEscapesAndTypes(t *testing.T) {
 	}
 	if strings.Contains(out, "\"m\"\ne") {
 		t.Error("raw quote or newline leaked into a label value")
+	}
+}
+
+func TestSnapshotPrometheusMultiByteLabels(t *testing.T) {
+	p, f := newProfiledFixture(t)
+	// Multi-byte method names (2-, 3- and 4-byte UTF-8) wrapped around a
+	// backslash: the byte-wise escaper must rewrite only the backslash
+	// and leave every rune intact — mojibake here would corrupt the
+	// whole exposition for scrapers that validate UTF-8.
+	f.th.PublishFrame("Bank口座.転送\\é🔒", 7)
+	f.l.Lock(f.th, f.o)
+	f.l.Lock(f.th, f.o)
+	f.l.Unlock(f.th, f.o)
+	f.l.Unlock(f.th, f.o)
+	f.th.ClearFrame()
+	var b strings.Builder
+	if err := p.Snapshot().WritePrometheus(&b, 0); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if want := `site="Bank口座.転送\\é🔒@7"`; !strings.Contains(out, want) {
+		t.Errorf("prometheus output missing %q\n%s", want, out)
+	}
+	if !utf8.ValidString(out) {
+		t.Error("exposition output is not valid UTF-8")
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"strconv"
 
+	"thinlock/internal/lockdep"
 	"thinlock/internal/telemetry"
 )
 
@@ -24,9 +25,12 @@ type MergedSnapshot struct {
 //	/debug/lockprof/top          human-readable top-N hot locks (?n=20)
 //	/debug/lockprof/snapshot     full lockprof snapshot as JSON
 //	/debug/pprof/lockcontention  pprof contention profile (gzip protobuf)
+//	/debug/lockdep/graph         lock-order graph (?format=dot|json, default dot)
+//	/debug/lockdep/waitfor       live wait-for snapshot + cycles as JSON
+//	/debug/lockdep/report        inversion/deadlock report (?format=text|json)
 //
-// Each request reads the globally installed telemetry/profiler at
-// handling time, so the handler can be registered before either is
+// Each request reads the globally installed telemetry/profiler/lockdep
+// at handling time, so the handler can be registered before any is
 // enabled; endpoints whose source is disabled answer 503.
 func Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -35,6 +39,9 @@ func Handler() http.Handler {
 	mux.HandleFunc("/debug/lockprof/top", serveTop)
 	mux.HandleFunc("/debug/lockprof/snapshot", serveSnapshot)
 	mux.HandleFunc("/debug/pprof/lockcontention", servePprof)
+	mux.HandleFunc("/debug/lockdep/graph", serveLockdepGraph)
+	mux.HandleFunc("/debug/lockdep/waitfor", serveLockdepWaitFor)
+	mux.HandleFunc("/debug/lockdep/report", serveLockdepReport)
 	mux.HandleFunc("/", serveIndex)
 	return mux
 }
@@ -52,6 +59,9 @@ func serveIndex(w http.ResponseWriter, r *http.Request) {
 		"/debug/lockprof/top?n=20",
 		"/debug/lockprof/snapshot",
 		"/debug/pprof/lockcontention",
+		"/debug/lockdep/graph?format=dot",
+		"/debug/lockdep/waitfor",
+		"/debug/lockdep/report",
 	} {
 		fmt.Fprintln(w, "  "+p)
 	}
@@ -130,4 +140,66 @@ func servePprof(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set("Content-Disposition", `attachment; filename="lockcontention.pb.gz"`)
 	_ = p.Snapshot().WritePprof(w)
+}
+
+// activeLockdep answers the install check for the lockdep endpoints,
+// writing the 503 itself when the watchdog is off.
+func activeLockdep(w http.ResponseWriter) *lockdep.Lockdep {
+	d := lockdep.Active()
+	if d == nil {
+		http.Error(w, "lockdep disabled", http.StatusServiceUnavailable)
+	}
+	return d
+}
+
+func serveLockdepGraph(w http.ResponseWriter, r *http.Request) {
+	d := activeLockdep(w)
+	if d == nil {
+		return
+	}
+	switch r.URL.Query().Get("format") {
+	case "json":
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(d.GraphJSON())
+	case "", "dot":
+		w.Header().Set("Content-Type", "text/vnd.graphviz; charset=utf-8")
+		d.WriteDOT(w)
+	default:
+		http.Error(w, "unknown format (want dot or json)", http.StatusBadRequest)
+	}
+}
+
+func serveLockdepWaitFor(w http.ResponseWriter, r *http.Request) {
+	d := activeLockdep(w)
+	if d == nil {
+		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(d.WaitForJSON())
+}
+
+func serveLockdepReport(w http.ResponseWriter, r *http.Request) {
+	d := activeLockdep(w)
+	if d == nil {
+		return
+	}
+	switch r.URL.Query().Get("format") {
+	case "json":
+		data, err := d.MarshalJSONReport()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_, _ = w.Write(data)
+	case "", "text":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		d.WriteReport(w)
+	default:
+		http.Error(w, "unknown format (want text or json)", http.StatusBadRequest)
+	}
 }

@@ -23,6 +23,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"thinlock/internal/lockdep"
 	"thinlock/internal/lockprof"
 	"thinlock/internal/monitor"
 	"thinlock/internal/object"
@@ -208,13 +209,19 @@ func (c *Cache) Lock(t *threading.Thread, o *object.Object) {
 	if p := lockprof.Active(); p != nil {
 		p.SlowPathEnter(t, o)
 		start := telemetry.Now()
-		e := c.lookup(t, o)
-		e.mon.Enter(t)
-		c.unpin(e)
+		c.lockBody(t, o)
 		p.SlowPathExit(t, o, telemetry.Now()-start)
-		return
+	} else {
+		c.lockBody(t, o)
 	}
+	if d := lockdep.Active(); d != nil {
+		d.Acquired(t, o)
+	}
+}
+
+func (c *Cache) lockBody(t *threading.Thread, o *object.Object) {
 	e := c.lookup(t, o)
+	lockdep.Blocked(t, o, lockdep.WaitFat)
 	e.mon.Enter(t)
 	c.unpin(e)
 }
@@ -222,6 +229,16 @@ func (c *Cache) Lock(t *threading.Thread, o *object.Object) {
 // Unlock implements lockapi.Locker. Like monitorenter, monitorexit must
 // consult the cache.
 func (c *Cache) Unlock(t *threading.Thread, o *object.Object) error {
+	err := c.unlockBody(t, o)
+	if err == nil {
+		if d := lockdep.Active(); d != nil {
+			d.Released(t, o)
+		}
+	}
+	return err
+}
+
+func (c *Cache) unlockBody(t *threading.Thread, o *object.Object) error {
 	lockprof.UnlockSlow(t, o)
 	e := c.lookupExisting(t, o)
 	if e == nil {
@@ -235,6 +252,16 @@ func (c *Cache) Unlock(t *threading.Thread, o *object.Object) error {
 // Wait implements lockapi.Locker. The pin spans the whole wait so the
 // sweep never recycles a monitor with a waiter in flight.
 func (c *Cache) Wait(t *threading.Thread, o *object.Object, d time.Duration) (bool, error) {
+	if ld := lockdep.Active(); ld != nil {
+		ld.CondWaitBegin(t, o)
+		notified, err := c.waitBody(t, o, d)
+		ld.CondWaitEnd(t, o)
+		return notified, err
+	}
+	return c.waitBody(t, o, d)
+}
+
+func (c *Cache) waitBody(t *threading.Thread, o *object.Object, d time.Duration) (bool, error) {
 	e := c.lookupExisting(t, o)
 	if e == nil {
 		return false, ErrIllegalMonitorState

@@ -78,6 +78,17 @@ func TestEscapeLabelValue(t *testing.T) {
 		// Escaping must be byte-exact and idempotent-unsafe characters
 		// only; tabs and UTF-8 pass through untouched.
 		{"tab\tandé", "tab\tandé"},
+		// A literal backslash-n in the input is two characters and must
+		// come out as \\n, not be confused with a newline's \n.
+		{`literal\nhere`, `literal\\nhere`},
+		{`trailing\`, `trailing\\`},
+		{`\\double`, `\\\\double`},
+		// The slow path walks bytes; multi-byte runes around (and between)
+		// escapes must survive intact — 2-byte, 3-byte and 4-byte forms.
+		{"héllo\"wörld\n", "héllo\\\"wörld\\n"},
+		{"日本\\語", `日本\\語`},
+		{"emoji🔒\"lock", "emoji🔒\\\"lock"},
+		{"🧵\n🧵", `🧵\n🧵`},
 	}
 	for _, c := range cases {
 		if got := EscapeLabelValue(c.in); got != c.want {

@@ -1,0 +1,187 @@
+package workloads
+
+import (
+	"fmt"
+	"runtime"
+
+	"thinlock/internal/jcl"
+	"thinlock/internal/lockapi"
+	"thinlock/internal/object"
+	"thinlock/internal/threading"
+)
+
+// diningPhilosophers is the table size of the dining workloads.
+const diningPhilosophers = 5
+
+// runDining is the classic dining-philosophers kernel in its *correct*
+// form: every philosopher takes the lower-numbered fork first, so the
+// global acquisition order is consistent and no deadlock is possible —
+// but neighbours still contend for every fork, each meal nests one fork
+// inside the other, and the in-section yields make the contention
+// reproducible on any GOMAXPROCS (as in bankmt). This is the lockdep
+// zero-false-positive workload: heavy nesting, heavy contention, and a
+// run must produce no lock-order inversion and no wait-for cycle.
+//
+// Determinism: each philosopher eats a fixed number of meals; per-fork
+// use counts are increments (commute) and the checksum folds only the
+// final counts.
+func runDining(ctx *jcl.Context, t *threading.Thread, size int) uint64 {
+	l := ctx.Locker()
+	heap := ctx.Heap()
+
+	forks := make([]*object.Object, diningPhilosophers)
+	uses := make([]*jcl.Vector, diningPhilosophers)
+	for i := range forks {
+		forks[i] = heap.New("Fork")
+		v := ctx.NewVector()
+		v.AddElement(t, int64(0))
+		uses[i] = v
+	}
+
+	meals := 30 * size
+	reg := t.Registry()
+	dones := make([]<-chan struct{}, 0, diningPhilosophers)
+	for p := 0; p < diningPhilosophers; p++ {
+		p := p
+		done, err := reg.Go(fmt.Sprintf("phil-%d", p), func(pt *threading.Thread) {
+			left, right := p, (p+1)%diningPhilosophers
+			lo, hi := left, right
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			for m := 0; m < meals; m++ {
+				lockapi.Synchronized(l, pt, forks[lo], func() {
+					if (m+p)%4 == 0 {
+						runtime.Gosched() // hold the first fork while descheduled
+					}
+					lockapi.Synchronized(l, pt, forks[hi], func() {
+						for _, f := range []int{lo, hi} {
+							n := uses[f].ElementAt(pt, 0).(int64)
+							uses[f].SetElementAt(pt, n+1, 0)
+						}
+					})
+				})
+			}
+		})
+		if err != nil {
+			panic(fmt.Sprintf("workloads: dining attach: %v", err))
+		}
+		dones = append(dones, done)
+	}
+	for _, done := range dones {
+		<-done
+	}
+
+	var sum uint64
+	for i, v := range uses {
+		sum = mix(sum, uint64(i))
+		sum = mix(sum, uint64(v.ElementAt(t, 0).(int64)))
+	}
+	return sum
+}
+
+// runAbba is the lock-order-inversion workload: one worker repeatedly
+// locks guard A then B, and — only after the first worker has fully
+// finished — a second worker locks B then A. The two phases never
+// overlap, so the run can never hang; but two threads have now
+// established inverse nesting orders, which is exactly the latent ABBA
+// hazard lockdep's order graph exists to flag *without* needing the
+// hang. A run under `lockmon -lockdep` must report one inversion cycle
+// on A and B; a run without lockdep behaves like any other workload.
+func runAbba(ctx *jcl.Context, t *threading.Thread, size int) uint64 {
+	l := ctx.Locker()
+	heap := ctx.Heap()
+
+	a, b := heap.New("GuardA"), heap.New("GuardB")
+	counter := ctx.NewVector()
+	counter.AddElement(t, int64(0))
+
+	rounds := 50 * size
+	phase := func(name string, first, second *object.Object) {
+		done, err := t.Registry().Go(name, func(wt *threading.Thread) {
+			for r := 0; r < rounds; r++ {
+				lockapi.Synchronized(l, wt, first, func() {
+					if r%16 == 0 {
+						runtime.Gosched()
+					}
+					lockapi.Synchronized(l, wt, second, func() {
+						n := counter.ElementAt(wt, 0).(int64)
+						counter.SetElementAt(wt, n+1, 0)
+					})
+				})
+			}
+		})
+		if err != nil {
+			panic(fmt.Sprintf("workloads: abba attach: %v", err))
+		}
+		<-done // phases are strictly sequential: inversion without deadlock
+	}
+	phase("abba-0", a, b)
+	phase("abba-1", b, a)
+
+	return mix(mix(0, uint64(counter.ElementAt(t, 0).(int64))), uint64(rounds))
+}
+
+// Hazards returns workloads that are *deliberately broken*: they
+// deadlock (or can), by design, to exercise the lockdep wait-for
+// detector and the stall watchdog end to end. They are intentionally
+// kept out of All() — anything that iterates the regular suite (tests,
+// macrobench sweeps) must never hang — and are reachable only by name
+// through ByName or `lockmon -list`.
+func Hazards() []Workload {
+	return []Workload{
+		{
+			Name:        "dining-deadlock",
+			Source:      "(this repository) misordered dining philosophers",
+			Description: "HAZARD: every philosopher takes the left fork first; deadlocks by design and never returns",
+			DefaultSize: 1,
+			Concurrent:  true,
+			Run:         runDiningDeadlock,
+		},
+	}
+}
+
+// runDiningDeadlock is the misordered variant: every philosopher takes
+// its *left* fork first (a cyclic order), with a barrier ensuring all
+// five hold their left fork before any reaches right. The cycle forms
+// deterministically and the function never returns; it exists to be run
+// under `lockmon -watchdog`, whose stall dump must name all five
+// philosophers, the forks they hold, and the forks they block on.
+func runDiningDeadlock(ctx *jcl.Context, t *threading.Thread, size int) uint64 {
+	_ = size
+	l := ctx.Locker()
+	heap := ctx.Heap()
+
+	forks := make([]*object.Object, diningPhilosophers)
+	for i := range forks {
+		forks[i] = heap.New("Fork")
+	}
+
+	firstHeld := make(chan struct{}, diningPhilosophers)
+	proceed := make(chan struct{})
+	reg := t.Registry()
+	dones := make([]<-chan struct{}, 0, diningPhilosophers)
+	for p := 0; p < diningPhilosophers; p++ {
+		p := p
+		done, err := reg.Go(fmt.Sprintf("phil-%d", p), func(pt *threading.Thread) {
+			l.Lock(pt, forks[p])
+			firstHeld <- struct{}{}
+			<-proceed
+			l.Lock(pt, forks[(p+1)%diningPhilosophers]) // deadlock: never acquired
+			l.Unlock(pt, forks[(p+1)%diningPhilosophers])
+			l.Unlock(pt, forks[p])
+		})
+		if err != nil {
+			panic(fmt.Sprintf("workloads: dining-deadlock attach: %v", err))
+		}
+		dones = append(dones, done)
+	}
+	for i := 0; i < diningPhilosophers; i++ {
+		<-firstHeld
+	}
+	close(proceed)
+	for _, done := range dones {
+		<-done // unreachable: the table is deadlocked
+	}
+	return 0
+}

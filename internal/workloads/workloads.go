@@ -139,12 +139,34 @@ func All() []Workload {
 			Concurrent:  true,
 			Run:         runBankmt,
 		},
+		{
+			Name:        "dining",
+			Source:      "(this repository) dining philosophers, ordered forks",
+			Description: "5 philosophers nesting contended fork pairs in a consistent order; lockdep must stay silent",
+			DefaultSize: 10,
+			Concurrent:  true,
+			Run:         runDining,
+		},
+		{
+			Name:        "abba",
+			Source:      "(this repository) sequential lock-order inversion",
+			Description: "two non-overlapping workers nest two guards in opposite orders; lockdep must flag it, nothing hangs",
+			DefaultSize: 10,
+			Concurrent:  true,
+			Run:         runAbba,
+		},
 	}
 }
 
-// ByName returns the named workload.
+// ByName returns the named workload, searching the regular suite and
+// then the deliberately-deadlocking Hazards().
 func ByName(name string) (Workload, bool) {
 	for _, w := range All() {
+		if w.Name == name {
+			return w, true
+		}
+	}
+	for _, w := range Hazards() {
 		if w.Name == name {
 			return w, true
 		}

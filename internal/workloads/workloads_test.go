@@ -29,8 +29,8 @@ func runOnce(t *testing.T, w Workload, l lockapi.Locker, size int) uint64 {
 func TestAllWorkloadsAreWellFormed(t *testing.T) {
 	t.Parallel()
 	suite := All()
-	if len(suite) != 13 {
-		t.Fatalf("suite has %d workloads, want 13", len(suite))
+	if len(suite) != 15 {
+		t.Fatalf("suite has %d workloads, want 15", len(suite))
 	}
 	seen := make(map[string]bool)
 	for _, w := range suite {
@@ -57,6 +57,45 @@ func TestByName(t *testing.T) {
 	}
 	if _, ok := ByName("nope"); ok {
 		t.Error("ByName found phantom workload")
+	}
+	// Hazards are reachable by name even though they are not in All().
+	if w, ok := ByName("dining-deadlock"); !ok || w.Name != "dining-deadlock" {
+		t.Error("ByName(dining-deadlock) failed")
+	}
+}
+
+// Hazard workloads deadlock by design, so they are never *run* here —
+// only their registration is checked: well-formed metadata, marked
+// concurrent and as a hazard, and strictly disjoint from All() so
+// nothing iterating the regular suite can hang.
+func TestHazardsAreWellFormedAndDisjoint(t *testing.T) {
+	t.Parallel()
+	regular := make(map[string]bool)
+	for _, w := range All() {
+		regular[w.Name] = true
+	}
+	hazards := Hazards()
+	if len(hazards) == 0 {
+		t.Fatal("no hazard workloads registered")
+	}
+	seen := make(map[string]bool)
+	for _, w := range hazards {
+		if w.Name == "" || w.Source == "" || w.Description == "" || w.Run == nil {
+			t.Errorf("hazard %q missing metadata", w.Name)
+		}
+		if !w.Concurrent {
+			t.Errorf("hazard %s not marked Concurrent", w.Name)
+		}
+		if !strings.Contains(w.Description, "HAZARD") {
+			t.Errorf("hazard %s description does not warn it is a hazard: %q", w.Name, w.Description)
+		}
+		if regular[w.Name] {
+			t.Errorf("hazard %s also appears in All(); the regular suite would hang", w.Name)
+		}
+		if seen[w.Name] {
+			t.Errorf("duplicate hazard %s", w.Name)
+		}
+		seen[w.Name] = true
 	}
 }
 
