@@ -1,9 +1,9 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test vet race race-locks check explore fuzz-smoke obs-smoke deadlock-smoke bench-baseline bench-diff
+.PHONY: all build test vet lockvet race race-locks check explore fuzz-smoke obs-smoke deadlock-smoke bench-baseline bench-diff
 
-all: vet build test
+all: vet build lockvet test
 
 build:
 	$(GO) build ./...
@@ -13,6 +13,16 @@ test:
 
 vet:
 	$(GO) vet ./...
+
+# lockvet runs the project's own static lock checker end to end:
+# scripts/lockvet_smoke.sh builds bin/lockvet, runs the go/analysis
+# suite (lockword, pairedunlock, hookalloc) over the whole repo via
+# `go vet -vettool`, checks every bytecode corpus program against the
+# structured-locking verifier and its expected static lock-order
+# verdict, and diffs the abba static graph against a live runtime
+# lockdep export.
+lockvet: build
+	GO="$(GO)" scripts/lockvet_smoke.sh results/lockvet
 
 # race runs the full suite under the race detector; -short trims the
 # slowest stress rounds so the job stays CI-sized.

@@ -93,6 +93,7 @@ func main() {
 	hold := flag.Duration("hold", 0, "with -serve, keep serving this long after the last run")
 	useLockdep := flag.Bool("lockdep", false, "enable the lock-order watchdog; print its report after the run")
 	lockdepDot := flag.String("lockdep-dot", "", "write the lock-order graph in Graphviz DOT to this file (- for stdout; implies -lockdep)")
+	lockdepJSON := flag.String("lockdep-json", "", "write the lock-order graph as JSON to this file (- for stdout; implies -lockdep); diffable against the static graph via lockvet -runtime")
 	watchdog := flag.Duration("watchdog", 0, "stall threshold (implies -lockdep): a wait this long dumps the flight recorder to stderr and exits 3")
 	flag.Parse()
 
@@ -159,7 +160,7 @@ func main() {
 	prof := lockprof.Enable(lockprof.New(lockprof.Config{SampleEvery: *profRate}))
 	defer lockprof.Disable()
 
-	if *watchdog > 0 || *lockdepDot != "" {
+	if *watchdog > 0 || *lockdepDot != "" || *lockdepJSON != "" {
 		*useLockdep = true
 	}
 	var ld *lockdep.Lockdep
@@ -307,6 +308,15 @@ func main() {
 			return nil
 		}); err != nil {
 			fail("lockdep dot: %v", err)
+		}
+	}
+	if *lockdepJSON != "" {
+		if err := writeTo(*lockdepJSON, func(w io.Writer) error {
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			return enc.Encode(ld.GraphJSON())
+		}); err != nil {
+			fail("lockdep json: %v", err)
 		}
 	}
 

@@ -1,0 +1,186 @@
+// Command lockvet is the project's static lock checker. It has two
+// personalities:
+//
+// As a vet tool, it runs the Go-source analyzer suite (lockword,
+// pairedunlock, hookalloc) over any package:
+//
+//	go build -o bin/lockvet ./cmd/lockvet
+//	go vet -vettool=$PWD/bin/lockvet ./...
+//
+// As a bytecode checker, it compiles a minijava program, runs the
+// structured-locking verifier, and builds the static lock-order graph
+// with ABBA cycle detection:
+//
+//	lockvet -prog prog.mj                  # report; exit 1 if cycles
+//	lockvet -prog prog.mj -dot graph.dot   # Graphviz export
+//	lockvet -prog prog.mj -json graph.json # lockdep-shaped JSON export
+//	lockvet -prog prog.mj -runtime rt.json # diff vs a runtime lockdep export
+//	lockvet -corpus dir                    # verify every *.mj under dir
+//
+// The -runtime input is the JSON written by /debug/lockdep/graph?format=json
+// (or `lockmon -lockdep-json`); the diff maps runtime "Class#id" locks
+// onto static class nodes and splits edges into matched, runtime-only,
+// and static-only.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"thinlock/internal/analyzers"
+	"thinlock/internal/minijava"
+	"thinlock/internal/staticlock"
+	"thinlock/internal/vm"
+)
+
+func main() {
+	// The `go vet -vettool` protocol must win before flag parsing: cmd/go
+	// probes with -flags / -V=full and then passes <objdir>/vet.cfg.
+	for _, arg := range os.Args[1:] {
+		if arg == "-flags" || arg == "--flags" ||
+			strings.HasPrefix(arg, "-V") || strings.HasPrefix(arg, "--V") ||
+			strings.HasSuffix(arg, ".cfg") {
+			analyzers.VetMain(analyzers.All(), os.Args[1:])
+		}
+	}
+
+	var (
+		prog    = flag.String("prog", "", "minijava source file to verify and analyze")
+		corpus  = flag.String("corpus", "", "directory of *.mj programs: verify each compiles and passes the verifier")
+		dotOut  = flag.String("dot", "", "write the static lock-order graph as Graphviz DOT to this file")
+		jsonOut = flag.String("json", "", "write the static lock-order graph as lockdep-shaped JSON to this file")
+		runtime = flag.String("runtime", "", "runtime lockdep graph JSON export to diff against the static graph")
+	)
+	flag.Parse()
+
+	switch {
+	case *corpus != "":
+		os.Exit(runCorpus(*corpus))
+	case *prog != "":
+		os.Exit(runProg(*prog, *dotOut, *jsonOut, *runtime))
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fail(format string, args ...any) int {
+	fmt.Fprintf(os.Stderr, "lockvet: "+format+"\n", args...)
+	return 1
+}
+
+// analyzeFile compiles one minijava source and builds its static graph;
+// the compile step includes the structured-locking verifier.
+func analyzeFile(path string) (*staticlock.Graph, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	p, err := minijava.Compile(string(src))
+	if err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	for _, m := range p.Methods {
+		if _, err := vm.CollectMonitorFacts(p, m); err != nil {
+			return nil, fmt.Errorf("%s: verifier: %v", path, err)
+		}
+	}
+	g, err := staticlock.Analyze(p)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return g, nil
+}
+
+func runProg(path, dotOut, jsonOut, runtimePath string) int {
+	g, err := analyzeFile(path)
+	if err != nil {
+		return fail("%v", err)
+	}
+	if dotOut != "" {
+		f, err := os.Create(dotOut)
+		if err != nil {
+			return fail("%v", err)
+		}
+		g.WriteDOT(f)
+		if err := f.Close(); err != nil {
+			return fail("%v", err)
+		}
+	}
+	if jsonOut != "" {
+		raw, err := json.MarshalIndent(g.GraphJSON(), "", "  ")
+		if err != nil {
+			return fail("%v", err)
+		}
+		if err := os.WriteFile(jsonOut, append(raw, '\n'), 0o644); err != nil {
+			return fail("%v", err)
+		}
+	}
+	g.WriteReport(os.Stdout)
+	if runtimePath != "" {
+		f, err := os.Open(runtimePath)
+		if err != nil {
+			return fail("%v", err)
+		}
+		rt, err := staticlock.LoadRuntimeExport(f)
+		f.Close()
+		if err != nil {
+			return fail("%v", err)
+		}
+		g.DiffRuntime(rt).WriteDiff(os.Stdout)
+	}
+	if len(g.Cycles()) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// runCorpus compiles every *.mj under dir; any compile or verifier
+// failure, or any static cycle, is a finding. A file whose name
+// contains "abba" is expected to cycle, mirroring the runtime deadlock
+// workload naming.
+func runCorpus(dir string) int {
+	var checked, bad int
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || filepath.Ext(path) != ".mj" {
+			return err
+		}
+		checked++
+		g, aerr := analyzeFile(path)
+		if aerr != nil {
+			bad++
+			fmt.Fprintf(os.Stderr, "lockvet: %v\n", aerr)
+			return nil
+		}
+		wantCycle := strings.Contains(filepath.Base(path), "abba")
+		gotCycle := len(g.Cycles()) > 0
+		if gotCycle != wantCycle {
+			bad++
+			if gotCycle {
+				fmt.Fprintf(os.Stderr, "lockvet: %s: unexpected static lock-order cycle:\n", path)
+				for _, r := range g.Cycles() {
+					fmt.Fprintf(os.Stderr, "%s\n", r)
+				}
+			} else {
+				fmt.Fprintf(os.Stderr, "lockvet: %s: expected a static ABBA cycle, found none\n", path)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return fail("%v", err)
+	}
+	if checked == 0 {
+		return fail("no .mj programs under %s", dir)
+	}
+	if bad > 0 {
+		return 1
+	}
+	fmt.Printf("lockvet: corpus ok: %d program(s) verified\n", checked)
+	return 0
+}

@@ -1,0 +1,160 @@
+// Package analyzers is a dependency-free miniature of the
+// golang.org/x/tools go/analysis vocabulary: enough structure to write
+// typed Go source checkers, run them under `go vet -vettool` (see
+// unitchecker.go), and test them against `// want` goldens — with
+// nothing beyond the standard library.
+//
+// Suppression: a finding is silenced by `//lockvet:ignore <reason>` on
+// the same line or the line above. The reason is mandatory; a bare
+// ignore is itself reported, so every suppression documents why.
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named check.
+type Analyzer struct {
+	Name string
+	Doc  string
+	// SkipTestFiles drops *_test.go files from the pass before Run.
+	SkipTestFiles bool
+	Run           func(*Pass) error
+}
+
+// Pass carries one package's syntax and types through an analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags []Diagnostic
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Message  string
+	Analyzer string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s", d.Pos, d.Message)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+		Analyzer: p.Analyzer.Name,
+	})
+}
+
+// ignoreDirective is the suppression marker.
+const ignoreDirective = "lockvet:ignore"
+
+// ignoreSet maps file -> line -> reason for every //lockvet:ignore.
+type ignoreSet map[string]map[int]string
+
+// collectIgnores scans comments; bare directives (no reason) are
+// reported immediately as findings of the pseudo-analyzer "ignore".
+func collectIgnores(fset *token.FileSet, files []*ast.File) (ignoreSet, []Diagnostic) {
+	ig := ignoreSet{}
+	var bare []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, ignoreDirective) {
+					continue
+				}
+				reason := strings.TrimSpace(strings.TrimPrefix(text, ignoreDirective))
+				pos := fset.Position(c.Pos())
+				if reason == "" {
+					bare = append(bare, Diagnostic{
+						Pos:      pos,
+						Message:  "lockvet:ignore without a reason; write //lockvet:ignore <why>",
+						Analyzer: "ignore",
+					})
+					continue
+				}
+				if ig[pos.Filename] == nil {
+					ig[pos.Filename] = map[int]string{}
+				}
+				ig[pos.Filename][pos.Line] = reason
+			}
+		}
+	}
+	return ig, bare
+}
+
+// suppressed reports whether d has an ignore on its line or the line
+// above it.
+func (ig ignoreSet) suppressed(d Diagnostic) bool {
+	lines := ig[d.Pos.Filename]
+	if lines == nil {
+		return false
+	}
+	_, same := lines[d.Pos.Line]
+	_, above := lines[d.Pos.Line-1]
+	return same || above
+}
+
+// RunAnalyzers executes every analyzer over one typed package and
+// returns the surviving diagnostics, sorted by position. Bare ignore
+// directives surface as findings regardless of which analyzers run.
+func RunAnalyzers(as []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Diagnostic, error) {
+	ig, out := collectIgnores(fset, files)
+	for _, a := range as {
+		pfiles := files
+		if a.SkipTestFiles {
+			pfiles = nil
+			for _, f := range files {
+				name := fset.Position(f.Pos()).Filename
+				if strings.HasSuffix(name, "_test.go") {
+					continue
+				}
+				pfiles = append(pfiles, f)
+			}
+		}
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     pfiles,
+			Pkg:       pkg,
+			TypesInfo: info,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %w", a.Name, err)
+		}
+		for _, d := range pass.diags {
+			if !ig.suppressed(d) {
+				out = append(out, d)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pos.Filename != out[j].Pos.Filename {
+			return out[i].Pos.Filename < out[j].Pos.Filename
+		}
+		if out[i].Pos.Line != out[j].Pos.Line {
+			return out[i].Pos.Line < out[j].Pos.Line
+		}
+		return out[i].Message < out[j].Message
+	})
+	return out, nil
+}
+
+// All returns the full lockvet analyzer suite.
+func All() []*Analyzer {
+	return []*Analyzer{LockWord, PairedUnlock, HookAlloc}
+}

@@ -1,0 +1,23 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"thinlock/internal/analyzers"
+	"thinlock/internal/analyzers/analyzertest"
+)
+
+func TestLockWordGolden(t *testing.T) {
+	t.Parallel()
+	analyzertest.Run(t, "testdata", []*analyzers.Analyzer{analyzers.LockWord}, "lockword")
+}
+
+func TestPairedUnlockGolden(t *testing.T) {
+	t.Parallel()
+	analyzertest.Run(t, "testdata", []*analyzers.Analyzer{analyzers.PairedUnlock}, "pairedunlock")
+}
+
+func TestHookAllocGolden(t *testing.T) {
+	t.Parallel()
+	analyzertest.Run(t, "testdata", []*analyzers.Analyzer{analyzers.HookAlloc}, "hookalloc")
+}

@@ -1,0 +1,119 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// HookAlloc forbids heap-allocating constructs in functions marked
+// //lockvet:noalloc. The marked functions are the ones lock fast paths
+// call while spinning or while holding a contended word — telemetry
+// counters, site hashing, lockdep hooks — where an allocation can
+// trigger GC (and in a real VM, GC can itself need the very lock being
+// acquired).
+//
+// Flagged constructs: make, new, append, composite literals, closures
+// (FuncLit), go statements, and []byte/string conversions. Escape
+// analysis may well keep some of these on the stack; the directive
+// asks for the conservative guarantee.
+//
+// Unlike the other analyzers this one includes _test.go files, so a
+// benchmark helper marked noalloc is held to the same bar.
+var HookAlloc = &Analyzer{
+	Name: "hookalloc",
+	Doc:  "forbid allocation in //lockvet:noalloc functions",
+	Run:  runHookAlloc,
+}
+
+const noallocDirective = "lockvet:noalloc"
+
+// isNoalloc reports whether the function's doc comment carries the
+// directive.
+func isNoalloc(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		if text == noallocDirective || strings.HasPrefix(text, noallocDirective+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+func runHookAlloc(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isNoalloc(fd) {
+				continue
+			}
+			checkNoalloc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkNoalloc(pass *Pass, fd *ast.FuncDecl) {
+	name := fd.Name.Name
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CompositeLit:
+			pass.Reportf(x.Pos(), "composite literal allocates in //lockvet:noalloc function %s", name)
+		case *ast.FuncLit:
+			pass.Reportf(x.Pos(), "closure allocates in //lockvet:noalloc function %s", name)
+			return false // the closure body runs later; don't double-report
+		case *ast.GoStmt:
+			pass.Reportf(x.Pos(), "go statement allocates in //lockvet:noalloc function %s", name)
+		case *ast.CallExpr:
+			switch fun := x.Fun.(type) {
+			case *ast.Ident:
+				switch fun.Name {
+				case "make", "new", "append":
+					if _, isBuiltin := pass.TypesInfo.Uses[fun].(*types.Builtin); isBuiltin {
+						pass.Reportf(x.Pos(), "%s allocates in //lockvet:noalloc function %s", fun.Name, name)
+					}
+				}
+			}
+			if conv, kind := allocatingConversion(pass, x); conv {
+				pass.Reportf(x.Pos(), "%s conversion allocates in //lockvet:noalloc function %s", kind, name)
+			}
+		}
+		return true
+	})
+}
+
+// allocatingConversion detects string<->[]byte/[]rune conversions,
+// which copy.
+func allocatingConversion(pass *Pass, call *ast.CallExpr) (bool, string) {
+	if len(call.Args) != 1 {
+		return false, ""
+	}
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return false, ""
+	}
+	dst := tv.Type.Underlying()
+	src := pass.TypesInfo.TypeOf(call.Args[0])
+	if src == nil {
+		return false, ""
+	}
+	srcU := src.Underlying()
+	isString := func(t types.Type) bool {
+		b, ok := t.(*types.Basic)
+		return ok && b.Info()&types.IsString != 0
+	}
+	isSlice := func(t types.Type) bool {
+		_, ok := t.(*types.Slice)
+		return ok
+	}
+	if isString(dst) && isSlice(srcU) {
+		return true, "[]byte-to-string"
+	}
+	if isSlice(dst) && isString(srcU) {
+		return true, "string-to-slice"
+	}
+	return false, ""
+}

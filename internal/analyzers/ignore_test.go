@@ -1,0 +1,92 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// reportAll is a test analyzer that flags every return statement.
+var reportAll = &Analyzer{
+	Name: "reportall",
+	Doc:  "test analyzer: flag every return",
+	Run: func(p *Pass) error {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if r, ok := n.(*ast.ReturnStmt); ok {
+					p.Reportf(r.Pos(), "return here")
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+const ignoreSrc = `package p
+
+func a() int {
+	return 1 //lockvet:ignore demo same-line suppression
+}
+
+func b() int {
+	//lockvet:ignore demo previous-line suppression
+	return 2
+}
+
+func c() int {
+	return 3
+}
+
+//lockvet:ignore
+func d() {}
+`
+
+func TestIgnoreDirectives(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", ignoreSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := RunAnalyzers([]*Analyzer{reportAll}, fset, []*ast.File{f}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, d := range diags {
+		got = append(got, d.Analyzer+":"+d.Message)
+	}
+	// a and b suppressed; c's return survives; the bare ignore above d
+	// is itself a finding.
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics %v, want 2", len(diags), got)
+	}
+	if diags[0].Message != "return here" || diags[0].Pos.Line != 13 {
+		t.Errorf("first diagnostic = %+v, want the return in c at line 13", diags[0])
+	}
+	if diags[1].Analyzer != "ignore" || !strings.Contains(diags[1].Message, "without a reason") {
+		t.Errorf("second diagnostic = %+v, want bare-ignore finding", diags[1])
+	}
+}
+
+func TestSkipTestFilesFiltering(t *testing.T) {
+	fset := token.NewFileSet()
+	main, err := parser.ParseFile(fset, "p.go", "package p\nfunc a() int { return 1 }\n", parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tst, err := parser.ParseFile(fset, "p_test.go", "package p\nfunc b() int { return 2 }\n", parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	skipper := &Analyzer{Name: "skipper", SkipTestFiles: true, Run: reportAll.Run}
+	diags, err := RunAnalyzers([]*Analyzer{skipper}, fset, []*ast.File{main, tst}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 || diags[0].Pos.Filename != "p.go" {
+		t.Fatalf("got %v, want exactly the p.go finding", diags)
+	}
+}

@@ -1,0 +1,134 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// PairedUnlock checks that every function balances its Lock/Unlock and
+// RLock/RUnlock calls per receiver: a function body with more Lock
+// calls on a receiver than Unlock calls (deferred ones included) leaks
+// the lock on some path. This is a per-function count heuristic, not a
+// path-sensitive proof — functions that intentionally return holding a
+// lock document it with //lockvet:ignore.
+//
+// Unlock-without-Lock is NOT flagged: unlocking a caller-held lock is
+// a legitimate shape (the runtime's monitor epilogue does exactly
+// that).
+var PairedUnlock = &Analyzer{
+	Name:          "pairedunlock",
+	Doc:           "flag functions that acquire a lock more often than they release it",
+	SkipTestFiles: true,
+	Run:           runPairedUnlock,
+}
+
+// lockPairs maps an acquire method to its release method.
+var lockPairs = map[string]string{
+	"Lock":  "Unlock",
+	"RLock": "RUnlock",
+}
+
+func runPairedUnlock(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkLockBalance(pass, fd)
+		}
+	}
+	return nil
+}
+
+// recvKey names a lock receiver stably: by the types.Object of its
+// root identifier plus the selector path, so `l.mu` in two statements
+// is one receiver while shadowed variables stay distinct.
+func recvKey(pass *Pass, e ast.Expr) (string, bool) {
+	switch x := e.(type) {
+	case *ast.Ident:
+		obj := pass.TypesInfo.Uses[x]
+		if obj == nil {
+			return "", false
+		}
+		return objKey(obj), true
+	case *ast.SelectorExpr:
+		base, ok := recvKey(pass, x.X)
+		if !ok {
+			return "", false
+		}
+		return base + "." + x.Sel.Name, true
+	case *ast.ParenExpr:
+		return recvKey(pass, x.X)
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			return recvKey(pass, x.X)
+		}
+	case *ast.CallExpr:
+		// mu() or x.Locker(): a fresh value per call; treat each call
+		// expression as its own receiver (balanced within the call
+		// count heuristic by position-independent rendering).
+		return types.ExprString(x), true
+	}
+	return "", false
+}
+
+func objKey(obj types.Object) string {
+	return obj.Name() + "@" + obj.Parent().String()
+}
+
+type lockSite struct {
+	pos     token.Pos
+	acquire string // "Lock" or "RLock"
+	display string // receiver as written, for the message
+	count   int
+}
+
+func checkLockBalance(pass *Pass, fd *ast.FuncDecl) {
+	type key struct{ recv, release string }
+	acquires := map[key]*lockSite{}
+	releases := map[key]int{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || len(call.Args) != 0 {
+			return true
+		}
+		name := sel.Sel.Name
+		if release, isAcq := lockPairs[name]; isAcq {
+			recv, ok := recvKey(pass, sel.X)
+			if !ok {
+				return true
+			}
+			k := key{recv, release}
+			if acquires[k] == nil {
+				acquires[k] = &lockSite{
+					pos:     sel.Sel.Pos(),
+					acquire: name,
+					display: types.ExprString(sel.X),
+				}
+			}
+			acquires[k].count++
+			return true
+		}
+		for _, release := range lockPairs {
+			if name == release {
+				if recv, ok := recvKey(pass, sel.X); ok {
+					releases[key{recv, release}]++
+				}
+			}
+		}
+		return true
+	})
+	for k, site := range acquires {
+		if site.count > releases[k] {
+			pass.Reportf(site.pos,
+				"%s.%s called %d time(s) but %s only %d time(s) in %s; a path may leak the lock",
+				site.display, site.acquire, site.count, k.release, releases[k], fd.Name.Name)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+// Package hookalloc is golden testdata for the hookalloc analyzer.
+package hookalloc
+
+type pair struct{ a, b int }
+
+// Inc is the shape the directive exists for: a counter bump with no
+// allocation.
+//
+//lockvet:noalloc
+func Inc(p *uint64) {
+	*p++
+}
+
+//lockvet:noalloc
+func makeAndAppend() []int {
+	s := make([]int, 4) // want `make allocates`
+	s = append(s, 1)    // want `append allocates`
+	return s
+}
+
+//lockvet:noalloc
+func lit() *pair {
+	return &pair{} // want `composite literal allocates`
+}
+
+//lockvet:noalloc
+func nw() *pair {
+	return new(pair) // want `new allocates`
+}
+
+//lockvet:noalloc
+func clo() func() {
+	return func() {} // want `closure allocates`
+}
+
+//lockvet:noalloc
+func spawn() {
+	go work() // want `go statement allocates`
+}
+
+func work() {}
+
+//lockvet:noalloc
+func conv(b []byte) string {
+	return string(b) // want `\[\]byte-to-string conversion allocates`
+}
+
+//lockvet:noalloc
+func conv2(s string) []byte {
+	return []byte(s) // want `string-to-slice conversion allocates`
+}
+
+// free is unmarked: allocation is fine here.
+func free() []int {
+	return make([]int, 8)
+}
+
+// justified documents why its single allocation is acceptable.
+//
+//lockvet:noalloc
+func justified() *pair {
+	//lockvet:ignore only reached on the cold panic path
+	return &pair{}
+}

@@ -1,0 +1,9 @@
+package hookalloc
+
+// hookalloc does NOT skip _test.go files: a noalloc helper used from
+// benchmarks is held to the same bar.
+//
+//lockvet:noalloc
+func benchHelper() []int {
+	return make([]int, 1) // want `make allocates`
+}

@@ -1,0 +1,49 @@
+// Package lockword is golden testdata for the lockword analyzer.
+package lockword
+
+import "sync/atomic"
+
+// Object mirrors the runtime's lock-word layout: header is only ever
+// touched through sync/atomic.
+type Object struct {
+	header uint32
+	id     uint64
+}
+
+func (o *Object) Header() uint32 { return atomic.LoadUint32(&o.header) }
+
+func (o *Object) CASHeader(old, new uint32) bool {
+	return atomic.CompareAndSwapUint32(&o.header, old, new)
+}
+
+func (o *Object) Racy() uint32 {
+	return o.header // want `plain access to header`
+}
+
+func (o *Object) RacyWrite(w uint32) {
+	o.header = w // want `plain access to header`
+}
+
+// Addr takes the address without dereferencing: allowed, this is how
+// atomic helpers are plumbed.
+func (o *Object) Addr() *uint32 { return &o.header }
+
+// ID reads a field nobody touches atomically: fine.
+func (o *Object) ID() uint64 { return o.id }
+
+// fresh writes the header plainly before publication; the ignore
+// documents why that is safe.
+func fresh(w uint32) *Object {
+	o := new(Object)
+	//lockvet:ignore not yet published to other goroutines
+	o.header = w
+	return o
+}
+
+var word uint32
+
+func bump() { atomic.AddUint32(&word, 1) }
+
+func peek() uint32 {
+	return word // want `plain access to word`
+}

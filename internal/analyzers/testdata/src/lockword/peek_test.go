@@ -1,0 +1,7 @@
+package lockword
+
+// lockword skips _test.go files: a test peeking at the raw word under
+// a stopped world is not a production race.
+func testOnlyPeek(o *Object) uint32 {
+	return o.header
+}

@@ -1,0 +1,63 @@
+// Package pairedunlock is golden testdata for the pairedunlock
+// analyzer.
+package pairedunlock
+
+import "sync"
+
+type S struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+}
+
+func ok(s *S) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+}
+
+func okDirect(s *S) {
+	s.mu.Lock()
+	work()
+	s.mu.Unlock()
+}
+
+func work() {}
+
+func leak(s *S) {
+	s.mu.Lock() // want `a path may leak the lock`
+	work()
+}
+
+func rleak(s *S) {
+	s.rw.RLock() // want `a path may leak the lock`
+	work()
+}
+
+func rok(s *S) {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+}
+
+// wrongPair releases a read lock with the write unlock; the RLock is
+// left unpaired.
+func wrongPair(s *S) {
+	s.rw.RLock() // want `a path may leak the lock`
+	s.rw.Unlock()
+}
+
+// unlockOnly releases a caller-held lock: legitimate, not flagged.
+func unlockOnly(s *S) {
+	s.mu.Unlock()
+}
+
+// heldOnReturn hands the locked mutex to its caller by contract.
+func heldOnReturn(s *S) {
+	//lockvet:ignore returns holding the lock; caller must call unlockOnly
+	s.mu.Lock()
+}
+
+// twoMutexes must be tracked per receiver, not pooled.
+func twoMutexes(a, b *S) {
+	a.mu.Lock()
+	b.mu.Lock() // want `a path may leak the lock`
+	a.mu.Unlock()
+}

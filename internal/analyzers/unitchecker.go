@@ -1,0 +1,194 @@
+package analyzers
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"strings"
+)
+
+// This file implements the `go vet -vettool` protocol with no
+// dependency on golang.org/x/tools: cmd/go invokes the tool once with
+// `-flags` (expecting a JSON description of its flags), may invoke it
+// with `-V=full` (expecting a version line it can hash into the build
+// cache key), and then runs `tool [flags] <objdir>/vet.cfg` once per
+// package, where vet.cfg is the JSON below. Findings go to stderr as
+// "file:line:col: message" and exit status 2; a clean package exits 0
+// after writing the (empty, facts-free) VetxOutput file.
+
+// vetConfig mirrors the fields cmd/go marshals into vet.cfg (see
+// cmd/go/internal/work.vetConfig). Unknown fields are ignored.
+type vetConfig struct {
+	ID           string
+	Compiler     string
+	Dir          string
+	ImportPath   string
+	GoFiles      []string
+	NonGoFiles   []string
+	IgnoredFiles []string
+
+	ModulePath  string
+	ImportMap   map[string]string
+	PackageFile map[string]string
+	Standard    map[string]bool
+	PackageVetx map[string]string
+	VetxOnly    bool
+	VetxOutput  string
+	GoVersion   string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// VetMain is the entry point cmd/lockvet delegates to when invoked by
+// `go vet`. It never returns.
+func VetMain(as []*Analyzer, args []string) {
+	os.Exit(vetMain(as, args, os.Stdout, os.Stderr))
+}
+
+func vetMain(as []*Analyzer, args []string, stdout, stderr io.Writer) int {
+	var cfgPath string
+	for _, arg := range args {
+		switch {
+		case arg == "-flags", arg == "--flags":
+			// All our flags are implicit; report an empty set so
+			// cmd/go accepts any standard vet flag combination.
+			fmt.Fprintln(stdout, "[]")
+			return 0
+		case strings.HasPrefix(arg, "-V"), strings.HasPrefix(arg, "--V"):
+			fmt.Fprintf(stdout, "lockvet version %s\n", buildID())
+			return 0
+		case strings.HasSuffix(arg, ".cfg"):
+			cfgPath = arg
+		default:
+			// Ignore vet flags like -unsafeptr=false: the suite always
+			// runs every lockvet analyzer.
+		}
+	}
+	if cfgPath == "" {
+		fmt.Fprintln(stderr, "lockvet: no vet.cfg argument; run via `go vet -vettool=$(pwd)/bin/lockvet ./...`")
+		return 1
+	}
+	diags, err := runConfig(as, cfgPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "lockvet: %v\n", err)
+		return 1
+	}
+	if len(diags) > 0 {
+		for _, d := range diags {
+			fmt.Fprintf(stderr, "%s: %s\n", d.Pos, d.Message)
+		}
+		return 2
+	}
+	return 0
+}
+
+// buildID returns a stable fingerprint of the running binary, so the
+// go command's cache invalidates when lockvet itself changes.
+func buildID() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "unknown"
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return "unknown"
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "unknown"
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))[:12]
+}
+
+func runConfig(as []*Analyzer, cfgPath string) ([]Diagnostic, error) {
+	raw, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return nil, err
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(raw, &cfg); err != nil {
+		return nil, fmt.Errorf("parse %s: %w", cfgPath, err)
+	}
+	// Facts output must exist even though lockvet computes none:
+	// cmd/go caches and feeds it back via PackageVetx.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.VetxOnly {
+		return nil, nil
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return nil, nil
+			}
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+
+	pkg, info, err := typecheck(&cfg, fset, files)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("typecheck %s: %w", cfg.ImportPath, err)
+	}
+	return RunAnalyzers(as, fset, files, pkg, info)
+}
+
+// typecheck types the package using the compiler's export data, the
+// way cmd/vet does: imports resolve through ImportMap to the export
+// files cmd/go listed in PackageFile.
+func typecheck(cfg *vetConfig, fset *token.FileSet, files []*ast.File) (*types.Package, *types.Info, error) {
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	goVersion := cfg.GoVersion // "go1.22" form, or "" in hand-written configs
+	if !strings.HasPrefix(goVersion, "go") {
+		goVersion = ""
+	}
+	tcfg := types.Config{
+		Importer:  importer.ForCompiler(fset, compiler, lookup),
+		GoVersion: goVersion,
+		Error:     func(error) {}, // collect via returned err; keep going
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	pkg, err := tcfg.Check(cfg.ImportPath, fset, files, info)
+	return pkg, info, err
+}

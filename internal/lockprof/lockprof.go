@@ -304,6 +304,8 @@ func Disable() { active.Store(nil) }
 func Active() *Profiler { return active.Load() }
 
 // Enabled reports whether a global Profiler is installed.
+//
+//lockvet:noalloc
 func Enabled() bool { return active.Load() != nil }
 
 // CASFailure records a CAS retry on the installed Profiler; a no-op

@@ -205,7 +205,51 @@ func (c *compiler) compileBody(m *vm.Method, class *classInfo, params []Param, b
 	m.Code = code
 	m.Handlers = handlers
 	m.MaxLocals = fs.maxSlot
+	m.Lines = fs.asm.Lines()
+	// Parameter classes seed the verifier's per-slot class inference,
+	// which the static lock-order graph keys its nodes on.
+	m.ParamClasses = make([]int, m.NumArgs)
+	i := 0
+	if class != nil {
+		m.ParamClasses[0] = class.index
+		i = 1
+	}
+	for j, t := range sig {
+		if t.isInt() {
+			m.ParamClasses[i+j] = -1
+		} else {
+			m.ParamClasses[i+j] = c.classes[t.class].index
+		}
+	}
 	return nil
+}
+
+// stmtLine reports the source line a statement starts on (0 unknown).
+func stmtLine(s Stmt) int {
+	switch s := s.(type) {
+	case *VarStmt:
+		return s.Line
+	case *AssignStmt:
+		return s.Line
+	case *IfStmt:
+		l, _ := s.Cond.pos()
+		return l
+	case *WhileStmt:
+		l, _ := s.Cond.pos()
+		return l
+	case *ReturnStmt:
+		return s.Line
+	case *ExprStmt:
+		l, _ := s.X.pos()
+		return l
+	case *SyncStmt:
+		return s.Line
+	case *ThrowStmt:
+		return s.Line
+	case *TryStmt:
+		return s.Line
+	}
+	return 0
 }
 
 func (fs *fnScope) pushScope() {
@@ -266,6 +310,9 @@ func (fs *fnScope) block(b *Block) error {
 }
 
 func (fs *fnScope) stmt(s Stmt) error {
+	if l := stmtLine(s); l > 0 {
+		fs.asm.Line(int32(l))
+	}
 	switch s := s.(type) {
 	case *Block:
 		return fs.block(s)

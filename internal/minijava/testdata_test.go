@@ -1,0 +1,106 @@
+package minijava
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"thinlock/internal/core"
+	"thinlock/internal/object"
+	"thinlock/internal/threading"
+	"thinlock/internal/vm"
+)
+
+// TestCompileTestdataPrograms compiles every testdata/programs/*.mj
+// program, asserts the structured-locking verifier accepts it (the
+// synchronized-block handler pattern included), checks monitor facts
+// are collectable for every method, and runs main against the
+// `// expect: N` header.
+func TestCompileTestdataPrograms(t *testing.T) {
+	t.Parallel()
+	files, err := filepath.Glob(filepath.Join("testdata", "programs", "*.mj"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no testdata programs found")
+	}
+	for _, file := range files {
+		file := file
+		t.Run(filepath.Base(file), func(t *testing.T) {
+			t.Parallel()
+			src, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			first := strings.SplitN(string(src), "\n", 2)[0]
+			want, err := strconv.ParseInt(strings.TrimSpace(strings.TrimPrefix(first, "// expect:")), 10, 64)
+			if err != nil {
+				t.Fatalf("bad `// expect: N` header %q: %v", first, err)
+			}
+			prog, err := Compile(string(src))
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			// vm.New runs the structured-locking verifier over every
+			// method; a rejection here is the failure this test guards.
+			machine, err := vm.New(prog, core.NewDefault(), object.NewHeap())
+			if err != nil {
+				t.Fatalf("structured-locking verifier rejected compiled program: %v", err)
+			}
+			for _, m := range prog.Methods {
+				if _, err := vm.CollectMonitorFacts(prog, m); err != nil {
+					t.Fatalf("CollectMonitorFacts(%s): %v", m.QualifiedName(), err)
+				}
+			}
+			th, err := threading.NewRegistry().Attach("main")
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := machine.Run(th, "main")
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if res.I != want {
+				t.Fatalf("main() = %d, want %d", res.I, want)
+			}
+		})
+	}
+}
+
+// TestCompileFuzzSeeds feeds every checked-in FuzzCompile seed through
+// the compiler: whatever the compiler accepts, the verifier (with the
+// structured-locking layer on) must accept too.
+func TestCompileFuzzSeeds(t *testing.T) {
+	t.Parallel()
+	files, err := filepath.Glob(filepath.Join("testdata", "fuzz", "FuzzCompile", "*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, file := range files {
+		raw, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Go fuzz corpus format: a version line, then string("...").
+		for _, line := range strings.Split(string(raw), "\n") {
+			line = strings.TrimSpace(line)
+			if !strings.HasPrefix(line, "string(") || !strings.HasSuffix(line, ")") {
+				continue
+			}
+			src, err := strconv.Unquote(strings.TrimSuffix(strings.TrimPrefix(line, "string("), ")"))
+			if err != nil {
+				t.Fatalf("%s: unquote: %v", file, err)
+			}
+			prog, err := Compile(src)
+			if err != nil {
+				continue // malformed seeds are expected
+			}
+			if _, err := vm.New(prog, core.NewDefault(), object.NewHeap()); err != nil {
+				t.Errorf("%s: compiler accepted but verifier rejected: %v", filepath.Base(file), err)
+			}
+		}
+	}
+}

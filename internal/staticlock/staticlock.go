@@ -1,0 +1,368 @@
+// Package staticlock builds a *static* lock-order graph for a whole
+// vm.Program by walking its call graph over the monitor facts the
+// structured-locking verifier proves (internal/vm.CollectMonitorFacts).
+//
+// Nodes are lock identities as far as they are statically known:
+// classes (every instance of a class collapses into one node, the way
+// internal/lockdep's runtime nodes "Class#id" collapse when the #id is
+// stripped), "Class<class>" objects for static synchronized methods,
+// and per-method slots or sites when no class is known. Edges mean "a
+// path exists that acquires To while holding From". Cross-node cycles
+// are reported as static ABBA hazards; pure same-node self edges
+// (nested locking of two instances of one class, e.g. the dining
+// philosophers' ordered forks) are recorded but deliberately NOT
+// reported — instance order within a class is invisible statically,
+// and flagging it would make every ordered fine-grained structure a
+// false positive.
+//
+// The graph exports in the same DOT/JSON shapes as internal/lockdep so
+// `lockvet -runtime` can diff "statically possible" against "observed
+// at runtime".
+package staticlock
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"thinlock/internal/lockdep"
+	"thinlock/internal/vm"
+)
+
+// held is one monitor held in the current exploration context.
+type held struct {
+	node string
+	site string
+}
+
+// edge is one aggregated order edge.
+type edge struct {
+	from, to    string
+	holdSite    string // where From was (first) acquired
+	acquireSite string // where To was (first) acquired while holding From
+	count       int    // distinct (site) observations folded in
+	inverted    bool   // participates in a reported cycle
+}
+
+// Graph is the static lock-order graph of one program.
+type Graph struct {
+	prog  *vm.Program
+	nodes map[string]bool
+	edges map[[2]string]*edge
+	// selfNesting counts suppressed same-node nestings per node.
+	selfNesting map[string]*edge
+	cycles      []*lockdep.InversionReport
+}
+
+// Analyze verifies every method (collecting monitor facts) and builds
+// the static lock-order graph by interprocedural exploration: every
+// method is considered a potential entry point, and calls are followed
+// with the caller's held-monitor context.
+func Analyze(p *vm.Program) (*Graph, error) {
+	g := &Graph{
+		prog:        p,
+		nodes:       make(map[string]bool),
+		edges:       make(map[[2]string]*edge),
+		selfNesting: make(map[string]*edge),
+	}
+	facts := make([]*vm.MethodMonitorFacts, len(p.Methods))
+	for i, m := range p.Methods {
+		f, err := vm.CollectMonitorFacts(p, m)
+		if err != nil {
+			return nil, fmt.Errorf("staticlock: %s: %w", m.QualifiedName(), err)
+		}
+		facts[i] = f
+	}
+	// visited memoizes (method, held-node context) so recursive and
+	// deeply-shared call graphs terminate: re-walking a method under a
+	// context adding no new held nodes cannot add new edges.
+	visited := make(map[string]bool)
+	var walk func(mi int, ctx []held)
+	walk = func(mi int, ctx []held) {
+		key := keyOf(mi, ctx)
+		if visited[key] {
+			return
+		}
+		visited[key] = true
+		m := p.Methods[mi]
+		f := facts[mi]
+		if m.Sync() {
+			n := g.syncNode(m)
+			site := fmt.Sprintf("%s@sync-prologue", m.QualifiedName())
+			g.addAcquire(ctx, n, site)
+			ctx = append(append([]held(nil), ctx...), held{node: n, site: site})
+		}
+		for pc, in := range m.Code {
+			switch in.Op {
+			case vm.OpMonitorEnter:
+				ef, ok := f.EnterAt[pc]
+				if !ok {
+					continue // unreachable
+				}
+				inner := g.heldContext(m, ctx, f.HeldAt[pc])
+				g.addAcquire(inner, g.nodeFor(m, ef), g.siteFor(m, ef.EnterPC, ef.Line))
+			case vm.OpInvoke:
+				if f.HeldAt[pc] == nil {
+					continue // unreachable
+				}
+				walk(int(in.A), g.heldContext(m, ctx, f.HeldAt[pc]))
+			}
+		}
+	}
+	for i := range p.Methods {
+		walk(i, nil)
+	}
+	g.detectCycles()
+	return g, nil
+}
+
+func keyOf(mi int, ctx []held) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d", mi)
+	for _, h := range ctx {
+		b.WriteByte('|')
+		b.WriteString(h.node)
+	}
+	return b.String()
+}
+
+// heldContext appends the verifier's held-monitor stack at a pc to the
+// interprocedural context.
+func (g *Graph) heldContext(m *vm.Method, ctx []held, heldAt []vm.MonitorFact) []held {
+	out := append([]held(nil), ctx...)
+	for _, hf := range heldAt {
+		out = append(out, held{node: g.nodeFor(m, hf), site: g.siteFor(m, hf.EnterPC, hf.Line)})
+	}
+	return out
+}
+
+// syncNode names the implicit monitor of a synchronized method.
+func (g *Graph) syncNode(m *vm.Method) string {
+	if m.Static() {
+		return m.Class.Name + "<class>"
+	}
+	return m.Class.Name
+}
+
+// nodeFor names the lock behind one monitor fact.
+func (g *Graph) nodeFor(m *vm.Method, f vm.MonitorFact) string {
+	if f.Class >= 0 && int(f.Class) < len(g.prog.Classes) {
+		return g.prog.Classes[f.Class].Name
+	}
+	if f.Slot >= 0 {
+		return fmt.Sprintf("%s#slot%d", m.QualifiedName(), f.Slot)
+	}
+	return fmt.Sprintf("%s@%d", m.QualifiedName(), f.EnterPC)
+}
+
+// siteFor renders an acquisition site in the lockprof style
+// ("Class.method@pc"), with the minijava line when known.
+func (g *Graph) siteFor(m *vm.Method, pc int, line int32) string {
+	if line > 0 {
+		return fmt.Sprintf("%s@%d (line %d)", m.QualifiedName(), pc, line)
+	}
+	return fmt.Sprintf("%s@%d", m.QualifiedName(), pc)
+}
+
+// addAcquire folds "acquired `to` while holding everything in ctx"
+// into the graph: one edge per held monitor, as lockdep does at
+// runtime. Same-node edges are counted but kept out of cycle
+// detection (see the package comment).
+func (g *Graph) addAcquire(ctx []held, to, acqSite string) {
+	g.nodes[to] = true
+	for _, h := range ctx {
+		g.nodes[h.node] = true
+		if h.node == to {
+			e := g.selfNesting[to]
+			if e == nil {
+				e = &edge{from: h.node, to: to, holdSite: h.site, acquireSite: acqSite}
+				g.selfNesting[to] = e
+			}
+			e.count++
+			continue
+		}
+		k := [2]string{h.node, to}
+		e := g.edges[k]
+		if e == nil {
+			e = &edge{from: h.node, to: to, holdSite: h.site, acquireSite: acqSite}
+			g.edges[k] = e
+		}
+		e.count++
+	}
+}
+
+// detectCycles finds strongly connected components among the
+// cross-node edges and reports one representative cycle per component
+// as a static ABBA hazard, marking every intra-component edge
+// inverted.
+func (g *Graph) detectCycles() {
+	adj := make(map[string][]string)
+	for k := range g.edges {
+		adj[k[0]] = append(adj[k[0]], k[1])
+	}
+	for _, outs := range adj {
+		sort.Strings(outs)
+	}
+	scc := tarjan(g.sortedNodes(), adj)
+	seq := uint64(0)
+	for _, comp := range scc {
+		if len(comp) < 2 {
+			continue
+		}
+		inComp := make(map[string]bool, len(comp))
+		for _, n := range comp {
+			inComp[n] = true
+		}
+		for k, e := range g.edges {
+			if inComp[k[0]] && inComp[k[1]] {
+				e.inverted = true
+			}
+		}
+		cyc := cycleWithin(comp[0], adj, inComp)
+		seq++
+		rep := &lockdep.InversionReport{Seq: seq}
+		for i := 0; i+1 < len(cyc); i++ {
+			e := g.edges[[2]string{cyc[i], cyc[i+1]}]
+			rep.Cycle = append(rep.Cycle, lockdep.InversionEdge{
+				From: e.from, To: e.to,
+				HoldSite: e.holdSite, AcquireSite: e.acquireSite,
+				Thread: "static",
+			})
+		}
+		g.cycles = append(g.cycles, rep)
+	}
+	sort.Slice(g.cycles, func(i, j int) bool {
+		return g.cycles[i].Cycle[0].From < g.cycles[j].Cycle[0].From
+	})
+	for i, r := range g.cycles {
+		r.Seq = uint64(i + 1)
+	}
+}
+
+// cycleWithin returns a closed node path start -> ... -> start using
+// only edges inside the component.
+func cycleWithin(start string, adj map[string][]string, inComp map[string]bool) []string {
+	var path []string
+	seen := make(map[string]bool)
+	var dfs func(n string) bool
+	dfs = func(n string) bool {
+		path = append(path, n)
+		if n == start && len(path) > 1 {
+			return true
+		}
+		if seen[n] {
+			path = path[:len(path)-1]
+			return false
+		}
+		seen[n] = true
+		for _, next := range adj[n] {
+			if !inComp[next] {
+				continue
+			}
+			if dfs(next) {
+				return true
+			}
+		}
+		path = path[:len(path)-1]
+		return false
+	}
+	seen[start] = false
+	for _, next := range adj[start] {
+		if !inComp[next] {
+			continue
+		}
+		path = []string{start}
+		seen = map[string]bool{}
+		if dfs(next) {
+			return path
+		}
+	}
+	return []string{start, start}
+}
+
+// tarjan computes strongly connected components.
+func tarjan(nodes []string, adj map[string][]string) [][]string {
+	index := make(map[string]int)
+	low := make(map[string]int)
+	onStack := make(map[string]bool)
+	var stack []string
+	var comps [][]string
+	next := 0
+	var strong func(n string)
+	strong = func(n string) {
+		index[n] = next
+		low[n] = next
+		next++
+		stack = append(stack, n)
+		onStack[n] = true
+		for _, w := range adj[n] {
+			if _, seen := index[w]; !seen {
+				strong(w)
+				if low[w] < low[n] {
+					low[n] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[n] {
+				low[n] = index[w]
+			}
+		}
+		if low[n] == index[n] {
+			var comp []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp = append(comp, w)
+				if w == n {
+					break
+				}
+			}
+			sort.Strings(comp)
+			comps = append(comps, comp)
+		}
+	}
+	for _, n := range nodes {
+		if _, seen := index[n]; !seen {
+			strong(n)
+		}
+	}
+	return comps
+}
+
+func (g *Graph) sortedNodes() []string {
+	out := make([]string, 0, len(g.nodes))
+	for n := range g.nodes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Cycles returns the reported static ABBA cycles.
+func (g *Graph) Cycles() []*lockdep.InversionReport { return g.cycles }
+
+// SelfNestings returns the suppressed same-node nesting counts.
+func (g *Graph) SelfNestings() map[string]int {
+	out := make(map[string]int, len(g.selfNesting))
+	for n, e := range g.selfNesting {
+		out[n] = e.count
+	}
+	return out
+}
+
+// sortedEdges returns cross-node edges then self edges, sorted.
+func (g *Graph) sortedEdges() []*edge {
+	out := make([]*edge, 0, len(g.edges)+len(g.selfNesting))
+	for _, e := range g.edges {
+		out = append(out, e)
+	}
+	for _, e := range g.selfNesting {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].from != out[j].from {
+			return out[i].from < out[j].from
+		}
+		return out[i].to < out[j].to
+	})
+	return out
+}

@@ -265,6 +265,8 @@ func New() *Telemetry { return &Telemetry{} }
 
 // shardFor selects the shard for the acting thread (shard 0 for nil,
 // used by hooks that run without a thread in scope).
+//
+//lockvet:noalloc
 func (m *Telemetry) shardFor(t *threading.Thread) *shard {
 	if t == nil {
 		return &m.shards[0]
@@ -273,17 +275,23 @@ func (m *Telemetry) shardFor(t *threading.Thread) *shard {
 }
 
 // Inc adds 1 to c in t's shard.
+//
+//lockvet:noalloc
 func (m *Telemetry) Inc(t *threading.Thread, c Counter) {
 	m.shardFor(t).counters[c].Add(1)
 }
 
 // Add adds n to c in t's shard.
+//
+//lockvet:noalloc
 func (m *Telemetry) Add(t *threading.Thread, c Counter, n uint64) {
 	m.shardFor(t).counters[c].Add(n)
 }
 
 // Observe records v into histogram h in t's shard. Negative values
 // clamp to zero.
+//
+//lockvet:noalloc
 func (m *Telemetry) Observe(t *threading.Thread, h Histo, v int64) {
 	s := m.shardFor(t)
 	s.buckets[h][bucketOf(v)].Add(1)
@@ -337,13 +345,19 @@ func Disable() { active.Store(nil) }
 
 // Active returns the installed Telemetry, or nil when disabled. Hook
 // sites that need several recordings (or a timestamp) load it once.
+//
+//lockvet:noalloc
 func Active() *Telemetry { return active.Load() }
 
 // Enabled reports whether a global Telemetry is installed.
+//
+//lockvet:noalloc
 func Enabled() bool { return active.Load() != nil }
 
 // Inc records 1 to c on the installed Telemetry; a no-op (one atomic
 // load, one branch, no allocation) when disabled.
+//
+//lockvet:noalloc
 func Inc(t *threading.Thread, c Counter) {
 	if m := active.Load(); m != nil {
 		m.Inc(t, c)
@@ -351,6 +365,8 @@ func Inc(t *threading.Thread, c Counter) {
 }
 
 // Add records n to c on the installed Telemetry; no-op when disabled.
+//
+//lockvet:noalloc
 func Add(t *threading.Thread, c Counter, n uint64) {
 	if m := active.Load(); m != nil {
 		m.Add(t, c, n)
@@ -359,6 +375,8 @@ func Add(t *threading.Thread, c Counter, n uint64) {
 
 // Observe records v into h on the installed Telemetry; no-op when
 // disabled.
+//
+//lockvet:noalloc
 func Observe(t *threading.Thread, h Histo, v int64) {
 	if m := active.Load(); m != nil {
 		m.Observe(t, h, v)
@@ -367,4 +385,6 @@ func Observe(t *threading.Thread, h Histo, v int64) {
 
 // Now returns monotonic nanoseconds since process start, suitable for
 // latency observations. It does not allocate.
+//
+//lockvet:noalloc
 func Now() int64 { return int64(time.Since(base)) }

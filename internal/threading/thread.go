@@ -129,6 +129,8 @@ func (t *Thread) IsInterrupted() bool { return t.interrupted.Load() }
 // about to perform a lock operation on this thread, for lock-site
 // attribution. Must be called by the owning goroutine and paired with
 // ClearFrame.
+//
+//lockvet:noalloc
 func (t *Thread) PublishFrame(method string, pc int32) {
 	t.frameMethod = method
 	t.framePC = pc
@@ -136,6 +138,8 @@ func (t *Thread) PublishFrame(method string, pc int32) {
 }
 
 // ClearFrame clears the published interpreter frame.
+//
+//lockvet:noalloc
 func (t *Thread) ClearFrame() {
 	t.frameMethod = ""
 	t.framePC = 0

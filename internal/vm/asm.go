@@ -20,7 +20,13 @@ type Asm struct {
 	labels   map[string]int
 	fixups   []fixup
 	handlers []handlerFixup
+	lines    []lineMark
 	errs     []error
+}
+
+type lineMark struct {
+	at   int // index of the first instruction the mark covers
+	line int32
 }
 
 type fixup struct {
@@ -54,6 +60,18 @@ func (a *Asm) emit(in Instr) *Asm {
 func (a *Asm) emitJump(op Op, label string) *Asm {
 	a.fixups = append(a.fixups, fixup{len(a.instrs), label})
 	return a.emit(Instr{Op: op})
+}
+
+// Line records that instructions emitted from here on originate at the
+// given source line (until the next Line mark). Compilers use it to
+// build the pc→line table consumed by Method.LineFor.
+func (a *Asm) Line(line int32) *Asm {
+	if n := len(a.lines); n > 0 && a.lines[n-1].at == len(a.instrs) {
+		a.lines[n-1].line = line
+		return a
+	}
+	a.lines = append(a.lines, lineMark{at: len(a.instrs), line: line})
+	return a
 }
 
 // Nop emits nop.
@@ -208,6 +226,25 @@ func (a *Asm) BuildWithHandlers() ([]Instr, []Handler, error) {
 		handlers = append(handlers, Handler{StartPC: start, EndPC: end, HandlerPC: target})
 	}
 	return a.instrs, handlers, nil
+}
+
+// Lines materializes the recorded Line marks as a per-pc source-line
+// table (0 where no mark covers the pc). Call after Build*.
+func (a *Asm) Lines() []int32 {
+	if len(a.lines) == 0 {
+		return nil
+	}
+	out := make([]int32, len(a.instrs))
+	for i, mk := range a.lines {
+		end := len(a.instrs)
+		if i+1 < len(a.lines) {
+			end = a.lines[i+1].at
+		}
+		for pc := mk.at; pc < end && pc < len(out); pc++ {
+			out[pc] = mk.line
+		}
+	}
+	return out
 }
 
 // MustBuild is Build for statically-known-correct listings; it panics on

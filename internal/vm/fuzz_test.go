@@ -1,12 +1,20 @@
 package vm
 
 import (
+	"strings"
 	"testing"
+
+	"thinlock/internal/core"
+	"thinlock/internal/object"
+	"thinlock/internal/threading"
 )
 
 // FuzzVerify feeds arbitrary instruction streams to the verifier: it must
 // either reject them or accept without panicking, and it must never
-// accept code that jumps out of range.
+// accept code that jumps out of range. Accepted programs are then run
+// (differentially): the structured-locking layer guarantees a verified
+// method can never hit an illegal-monitor-state error at runtime, no
+// matter what arguments it gets.
 func FuzzVerify(f *testing.F) {
 	// Seed with a valid method and a few near-valid mutations.
 	valid := NewAsm().
@@ -23,6 +31,27 @@ func FuzzVerify(f *testing.F) {
 	f.Add(encode([]Instr{{Op: OpNew, A: 0}, {Op: OpPop}, {Op: OpReturn}}), 0, 0, false, 0, 3, 1)
 	f.Add(encode([]Instr{{Op: OpIconst, A: 1}, {Op: OpThrow}, {Op: OpIReturn}}), 0, 0, true, 0, 2, 2)
 	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}, 2, 4, true, 1, 2, 3)
+	// Verifier-rejected unbalanced monitor programs: the structured-
+	// locking layer must keep rejecting these shapes, and mutations of
+	// them must never reach an illegal monitor state at runtime.
+	f.Add(encode([]Instr{ // monitorexit at depth zero
+		{Op: OpAload, A: 0}, {Op: OpMonitorExit}, {Op: OpReturn},
+	}), 1, 1, false, 0, 0, 0)
+	f.Add(encode([]Instr{ // return with monitor held
+		{Op: OpAload, A: 0}, {Op: OpMonitorEnter}, {Op: OpReturn},
+	}), 1, 1, false, 0, 0, 0)
+	f.Add(encode([]Instr{ // out-of-LIFO exit order
+		{Op: OpAload, A: 0}, {Op: OpMonitorEnter},
+		{Op: OpAload, A: 1}, {Op: OpMonitorEnter},
+		{Op: OpAload, A: 0}, {Op: OpMonitorExit},
+		{Op: OpAload, A: 1}, {Op: OpMonitorExit},
+		{Op: OpReturn},
+	}), 2, 2, false, 0, 0, 0)
+	f.Add(encode([]Instr{ // balanced slot-keyed pair: accepted and runnable
+		{Op: OpAload, A: 0}, {Op: OpMonitorEnter},
+		{Op: OpAload, A: 0}, {Op: OpMonitorExit},
+		{Op: OpReturn},
+	}), 1, 1, false, 0, 0, 0)
 
 	f.Fuzz(func(t *testing.T, raw []byte, numArgs, maxLocals int, returns bool,
 		hStart, hEnd, hTarget int) {
@@ -61,6 +90,31 @@ func FuzzVerify(f *testing.F) {
 				if int(in.A) < 0 || int(in.A) >= len(code) {
 					t.Fatalf("verifier accepted out-of-range jump at pc %d: %v", pc, in)
 				}
+			}
+		}
+
+		// Differential check: run the accepted program. Runtime traps
+		// (nil refs, bad indexes, step limits, uncaught exceptions) are
+		// all legal outcomes for garbage code, but an illegal monitor
+		// state would mean the structured-locking verifier is unsound.
+		machine, err := New(p, core.NewDefault(), object.NewHeap(), WithStepLimit(20000))
+		if err != nil {
+			t.Fatalf("New rejected what verify accepted: %v", err)
+		}
+		th, err := threading.NewRegistry().Attach("fuzz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		args := make([]Value, numArgs)
+		for i := range args {
+			// A value that is usable both as a small int and as a lockable
+			// object with a few fields, so more paths survive.
+			args[i] = Value{I: 2, Ref: machine.NewArray(4)}
+		}
+		if _, err := machine.Run(th, "fuzz", args...); err != nil {
+			if strings.Contains(err.Error(), "illegal monitor state") {
+				t.Fatalf("verified program hit an illegal monitor state: %v\n%s",
+					err, Disassemble(code))
 			}
 		}
 	})

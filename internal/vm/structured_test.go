@@ -1,0 +1,332 @@
+package vm
+
+import (
+	"strings"
+	"testing"
+)
+
+// Tests for the JVM §2.11.10-style structured-locking layer of the
+// verifier: monitor balance, LIFO exit matching, merge agreement, and
+// throw/return-with-monitors rejection.
+
+// handlerReleaseMethod is the javac synchronized-block shape: the
+// protected region throws, the handler re-releases the monitor.
+func handlerReleaseMethod() *Method {
+	code, handlers, err := NewAsm().
+		Aload(0).MonitorEnter().
+		Label("start").
+		Iload(1).Throw().
+		Label("end").
+		Label("handler").
+		Aload(0).MonitorExit().
+		Pop().
+		Return().
+		Protect("start", "end", "handler").
+		BuildWithHandlers()
+	if err != nil {
+		panic(err)
+	}
+	return &Method{Name: "m", Flags: FlagStatic, NumArgs: 2, MaxLocals: 2,
+		Code: code, Handlers: handlers}
+}
+
+func TestStructuredLockingAccepts(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		name string
+		m    *Method
+	}{
+		{
+			"slot-keyed enter/exit",
+			&Method{Name: "m", Flags: FlagStatic, NumArgs: 1, MaxLocals: 1,
+				Code: NewAsm().
+					Aload(0).MonitorEnter().
+					Aload(0).MonitorExit().
+					Return().
+					MustBuild()},
+		},
+		{
+			"javac pattern: new, astore, slot-keyed region",
+			&Method{Name: "m", Flags: FlagStatic, MaxLocals: 1,
+				Class: &Class{Name: "X"},
+				Code: NewAsm().
+					New(0).Astore(0).
+					Aload(0).MonitorEnter().
+					Aload(0).MonitorExit().
+					Return().
+					MustBuild()},
+		},
+		{
+			"nested LIFO monitors on distinct slots",
+			&Method{Name: "m", Flags: FlagStatic, NumArgs: 2, MaxLocals: 2,
+				Code: NewAsm().
+					Aload(0).MonitorEnter().
+					Aload(1).MonitorEnter().
+					Aload(1).MonitorExit().
+					Aload(0).MonitorExit().
+					Return().
+					MustBuild()},
+		},
+		{
+			"dup-keyed new object",
+			&Method{Name: "m", Flags: FlagStatic, MaxLocals: 0,
+				Class: &Class{Name: "X"},
+				Code: NewAsm().
+					New(0).Dup().MonitorEnter().MonitorExit().
+					Return().
+					MustBuild()},
+		},
+		{
+			"enter and exit inside a loop body",
+			&Method{Name: "m", Flags: FlagStatic | FlagReturnsValue,
+				NumArgs: 2, MaxLocals: 3,
+				Code: NewAsm().
+					Iconst(0).Istore(2).
+					Label("loop").
+					Iload(2).Iload(1).IfICmpGE("done").
+					Aload(0).MonitorEnter().
+					Iinc(2, 1).
+					Aload(0).MonitorExit().
+					Goto("loop").
+					Label("done").
+					Iload(2).IReturn().
+					MustBuild()},
+		},
+		{
+			"handler re-release pattern",
+			handlerReleaseMethod(),
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := verifyOne(tc.m); err != nil {
+				t.Fatalf("rejected: %v", err)
+			}
+		})
+	}
+}
+
+func TestStructuredLockingRejects(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		name string
+		m    *Method
+		want string
+	}{
+		{
+			"monitorexit at depth zero",
+			&Method{Name: "m", Flags: FlagStatic, NumArgs: 1, MaxLocals: 1,
+				Code: NewAsm().
+					Aload(0).MonitorExit().
+					Return().
+					MustBuild()},
+			"no monitor held",
+		},
+		{
+			"return with monitor held",
+			&Method{Name: "m", Flags: FlagStatic, NumArgs: 1, MaxLocals: 1,
+				Code: NewAsm().
+					Aload(0).MonitorEnter().
+					Return().
+					MustBuild()},
+			"monitor(s) still held",
+		},
+		{
+			"exit does not match innermost",
+			&Method{Name: "m", Flags: FlagStatic, NumArgs: 2, MaxLocals: 2,
+				Code: NewAsm().
+					Aload(0).MonitorEnter().
+					Aload(1).MonitorEnter().
+					Aload(0).MonitorExit(). // out of LIFO order
+					Aload(1).MonitorExit().
+					Return().
+					MustBuild()},
+			"does not match innermost",
+		},
+		{
+			"merge paths disagree on monitor depth",
+			&Method{Name: "m", Flags: FlagStatic, NumArgs: 2, MaxLocals: 2,
+				Code: NewAsm().
+					Iload(1).IfEQ("skip").
+					Aload(0).MonitorEnter().
+					Label("skip").
+					Aload(0).MonitorExit().
+					Return().
+					MustBuild()},
+			"monitors",
+		},
+		{
+			"merge paths disagree on monitor key",
+			&Method{Name: "m", Flags: FlagStatic, NumArgs: 3, MaxLocals: 3,
+				Code: NewAsm().
+					Iload(2).IfEQ("other").
+					Aload(0).MonitorEnter().
+					Goto("join").
+					Label("other").
+					Aload(1).MonitorEnter().
+					Label("join").
+					Aload(0).MonitorExit().
+					Return().
+					MustBuild()},
+			"monitor stacks disagree",
+		},
+		{
+			"store over slot whose monitor is held",
+			&Method{Name: "m", Flags: FlagStatic, NumArgs: 2, MaxLocals: 2,
+				Code: NewAsm().
+					Aload(0).MonitorEnter().
+					Aload(1).Astore(0).
+					Aload(0).MonitorExit().
+					Return().
+					MustBuild()},
+			"while its monitor is held",
+		},
+		{
+			"exit keyed by stale slot value",
+			&Method{Name: "m", Flags: FlagStatic, NumArgs: 2, MaxLocals: 2,
+				Code: NewAsm().
+					Aload(0).MonitorEnter().
+					Aload(0). // stacked slot-0 value...
+					Aload(0).MonitorExit().
+					Aload(1).Astore(0). // ...then slot 0 is replaced
+					MonitorExit().      // stale value no longer keys slot 0
+					Return().
+					MustBuild()},
+			"no monitor held",
+		},
+		{
+			"throw with monitor held and no handler",
+			&Method{Name: "m", Flags: FlagStatic, NumArgs: 2, MaxLocals: 2,
+				Code: NewAsm().
+					Aload(0).MonitorEnter().
+					Iload(1).Throw().
+					MustBuild()},
+			"unwind",
+		},
+		{
+			"unknown-provenance enter can never be exited",
+			&Method{Name: "m", Flags: FlagStatic, NumArgs: 1, MaxLocals: 1,
+				Code: NewAsm().
+					Aload(0).GetField(0).MonitorEnter(). // field load: untracked
+					Aload(0).GetField(0).MonitorExit().
+					Return().
+					MustBuild()},
+			"untracked",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := verifyOne(tc.m)
+			if err == nil {
+				t.Fatalf("verifier accepted %s", tc.name)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestStructuredLockingInvokeUnwind checks the interprocedural
+// may-throw analysis: calling a method that can throw while holding a
+// monitor is only legal under a covering handler.
+func TestStructuredLockingInvokeUnwind(t *testing.T) {
+	t.Parallel()
+	build := func(protect bool) error {
+		p := NewProgram()
+		thrower := &Method{
+			Name: "boom", Flags: FlagStatic, NumArgs: 1, MaxLocals: 1,
+			Code: NewAsm().Iload(0).Throw().MustBuild(),
+		}
+		p.AddMethod(thrower)
+		a := NewAsm().
+			Aload(0).MonitorEnter().
+			Label("start").
+			Iconst(3).Invoke(0).
+			Label("end").
+			Aload(0).MonitorExit().
+			Return().
+			Label("handler").
+			Aload(0).MonitorExit().
+			Pop().
+			Return()
+		if protect {
+			a.Protect("start", "end", "handler")
+		}
+		code, handlers, err := a.BuildWithHandlers()
+		if err != nil {
+			return err
+		}
+		caller := &Method{
+			Name: "call", Flags: FlagStatic, NumArgs: 1, MaxLocals: 1,
+			Code: code, Handlers: handlers,
+		}
+		p.AddMethod(caller)
+		if err := verify(p, thrower); err != nil {
+			return err
+		}
+		return verify(p, caller)
+	}
+	if err := build(true); err != nil {
+		t.Fatalf("covered may-throw call rejected: %v", err)
+	}
+	err := build(false)
+	if err == nil {
+		t.Fatal("uncovered may-throw call with monitor held accepted")
+	}
+	if !strings.Contains(err.Error(), "may unwind") {
+		t.Fatalf("err = %v, want may-unwind rejection", err)
+	}
+}
+
+// TestStructuredLockingCalleeCannotUnbalance: a callee that exits a
+// monitor it did not enter is rejected on its own, so imbalance cannot
+// cross call boundaries.
+func TestStructuredLockingCalleeCannotUnbalance(t *testing.T) {
+	t.Parallel()
+	m := &Method{
+		Name: "stealUnlock", Flags: FlagStatic, NumArgs: 1, MaxLocals: 1,
+		Code: NewAsm().Aload(0).MonitorExit().Return().MustBuild(),
+	}
+	if err := verifyOne(m); err == nil {
+		t.Fatal("callee-side naked monitorexit accepted")
+	}
+}
+
+func TestCollectMonitorFacts(t *testing.T) {
+	t.Parallel()
+	p := NewProgram()
+	cA := &Class{Name: "A"}
+	cB := &Class{Name: "B"}
+	p.AddClass(cA)
+	p.AddClass(cB)
+	m := &Method{
+		Name: "nest", Flags: FlagStatic, NumArgs: 2, MaxLocals: 2,
+		ParamClasses: []int{0, 1}, // a: A, b: B
+		Code: NewAsm().
+			Aload(0).MonitorEnter(). // pc 1
+			Aload(1).MonitorEnter(). // pc 3
+			Aload(1).MonitorExit().
+			Aload(0).MonitorExit().
+			Return().
+			MustBuild(),
+	}
+	p.AddMethod(m)
+	facts, err := CollectMonitorFacts(p, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outer, ok := facts.EnterAt[1]
+	if !ok || outer.Class != 0 || outer.Slot != 0 {
+		t.Fatalf("outer enter fact = %+v, %v", outer, ok)
+	}
+	inner, ok := facts.EnterAt[3]
+	if !ok || inner.Class != 1 || inner.Slot != 1 {
+		t.Fatalf("inner enter fact = %+v, %v", inner, ok)
+	}
+	// At the inner enter, the outer monitor is held.
+	held := facts.HeldAt[3]
+	if len(held) != 1 || held[0].Class != 0 {
+		t.Fatalf("held at inner enter = %+v", held)
+	}
+}

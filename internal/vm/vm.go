@@ -72,9 +72,35 @@ type Method struct {
 	// Handlers is the exception table, searched in order; the first
 	// entry covering the throwing pc wins.
 	Handlers []Handler
+	// Lines maps pc to a source line (1-based; 0 = unknown). Optional;
+	// the minijava compiler fills it so verifier errors and runtime
+	// traps cite source lines instead of raw pcs.
+	Lines []int32
+	// ParamClasses gives, per argument slot (including the receiver),
+	// the class index of the reference parameter, or -1 for ints and
+	// untyped references. Optional; used by the static lock-order
+	// analysis to name the classes behind slot-keyed monitors.
+	ParamClasses []int
 
 	index    int // in Program.Methods
 	maxStack int // computed by the verifier
+}
+
+// LineFor returns the source line for pc, or 0 when unknown.
+func (m *Method) LineFor(pc int) int32 {
+	if pc >= 0 && pc < len(m.Lines) {
+		return m.Lines[pc]
+	}
+	return 0
+}
+
+// at renders a trap location: " (line N, pc P)" when the line is known,
+// " (pc P)" otherwise. Used to make runtime trap messages citable.
+func (m *Method) at(pc int) string {
+	if l := m.LineFor(pc); l > 0 {
+		return fmt.Sprintf(" (line %d, pc %d)", l, pc)
+	}
+	return fmt.Sprintf(" (pc %d)", pc)
 }
 
 // Sync reports whether the method is synchronized.
@@ -152,17 +178,37 @@ func (p *Program) Method(name string) *Method {
 
 // VM executes programs over a heap and a lock implementation.
 type VM struct {
-	prog   *Program
-	locker lockapi.Locker
-	heap   *object.Heap
+	prog      *Program
+	locker    lockapi.Locker
+	heap      *object.Heap
+	stepLimit int64
+	skipSL    bool
 }
+
+// Option configures a VM at construction time.
+type Option func(*VM)
+
+// WithStepLimit bounds the number of instructions a single Run may
+// execute (0 = unlimited). Exceeding the limit traps with a "step limit
+// exceeded" error; the fuzzers use it to run arbitrary verified
+// programs without hanging on infinite loops.
+func WithStepLimit(n int64) Option { return func(v *VM) { v.stepLimit = n } }
+
+// WithoutStructuredLocking disables the structured-locking layer of the
+// verifier, keeping only the classic stack/flow checks. Tests use it to
+// exercise the runtime illegal-monitor-state traps that the static
+// verifier would otherwise reject at load time.
+func WithoutStructuredLocking() Option { return func(v *VM) { v.skipSL = true } }
 
 // New creates a VM, verifying the program's methods. Class objects (for
 // static synchronized methods) are allocated here.
-func New(prog *Program, locker lockapi.Locker, heap *object.Heap) (*VM, error) {
+func New(prog *Program, locker lockapi.Locker, heap *object.Heap, opts ...Option) (*VM, error) {
 	v := &VM{prog: prog, locker: locker, heap: heap}
+	for _, o := range opts {
+		o(v)
+	}
 	for _, m := range prog.Methods {
-		if err := verify(prog, m); err != nil {
+		if err := verifyMode(prog, m, v.skipSL); err != nil {
 			return nil, fmt.Errorf("vm: verify %s: %w", m.QualifiedName(), err)
 		}
 	}
@@ -220,7 +266,8 @@ func (v *VM) Run(t *threading.Thread, methodName string, args ...Value) (res Val
 			panic(r)
 		}
 	}()
-	res, threw := v.exec(t, m, args)
+	var steps int64
+	res, threw := v.exec(t, m, args, &steps)
 	if threw {
 		return Value{}, fmt.Errorf("vm: %s: uncaught exception %d", methodName, res.I)
 	}
@@ -231,7 +278,7 @@ func (v *VM) Run(t *threading.Thread, methodName string, args ...Value) (res Val
 // threw reports abrupt completion; the returned Value is then the thrown
 // exception value. A synchronized method's monitor is released on both
 // normal and abrupt completion, as required by the JVM specification.
-func (v *VM) exec(t *threading.Thread, m *Method, args []Value) (result Value, threw bool) {
+func (v *VM) exec(t *threading.Thread, m *Method, args []Value, steps *int64) (result Value, threw bool) {
 	if len(args) != m.NumArgs {
 		throwf("%s: got %d args, want %d", m.QualifiedName(), len(args), m.NumArgs)
 	}
@@ -266,7 +313,7 @@ func (v *VM) exec(t *threading.Thread, m *Method, args []Value) (result Value, t
 	unlockSync := func() {
 		if syncObj != nil {
 			if err := v.locker.Unlock(t, syncObj.Object); err != nil {
-				throwf("%s: method epilogue unlock: %v", m.QualifiedName(), err)
+				throwf("%s: illegal monitor state at method epilogue unlock: %v", m.QualifiedName(), err)
 			}
 		}
 	}
@@ -301,6 +348,12 @@ func (v *VM) exec(t *threading.Thread, m *Method, args []Value) (result Value, t
 
 	pc := 0
 	for {
+		if v.stepLimit > 0 {
+			*steps++
+			if *steps > v.stepLimit {
+				throwf("%s: step limit %d exceeded%s", m.QualifiedName(), v.stepLimit, m.at(pc))
+			}
+		}
 		in := m.Code[pc]
 		pc++
 		switch in.Op {
@@ -358,31 +411,43 @@ func (v *VM) exec(t *threading.Thread, m *Method, args []Value) (result Value, t
 		case OpALoadIdx:
 			idx, arr := pop(), pop()
 			if arr.Ref == nil {
-				throwf("aaload on nil array")
+				throwf("aaload on nil array%s", m.at(pc-1))
+			}
+			if idx.I < 0 || idx.I >= int64(len(arr.Ref.Fields)) {
+				throwf("aaload index %d outside [0,%d)%s", idx.I, len(arr.Ref.Fields), m.at(pc-1))
 			}
 			push(arr.Ref.Fields[idx.I])
 		case OpAStoreIdx:
 			val, idx, arr := pop(), pop(), pop()
 			if arr.Ref == nil {
-				throwf("aastore on nil array")
+				throwf("aastore on nil array%s", m.at(pc-1))
+			}
+			if idx.I < 0 || idx.I >= int64(len(arr.Ref.Fields)) {
+				throwf("aastore index %d outside [0,%d)%s", idx.I, len(arr.Ref.Fields), m.at(pc-1))
 			}
 			arr.Ref.Fields[idx.I] = val
 		case OpGetField:
 			ref := pop()
 			if ref.Ref == nil {
-				throwf("getfield on nil reference")
+				throwf("getfield on nil reference%s", m.at(pc-1))
+			}
+			if int(in.A) < 0 || int(in.A) >= len(ref.Ref.Fields) {
+				throwf("getfield %d outside %q's %d fields%s", in.A, ref.Ref.Class(), len(ref.Ref.Fields), m.at(pc-1))
 			}
 			push(ref.Ref.Fields[in.A])
 		case OpPutField:
 			val, ref := pop(), pop()
 			if ref.Ref == nil {
-				throwf("putfield on nil reference")
+				throwf("putfield on nil reference%s", m.at(pc-1))
+			}
+			if int(in.A) < 0 || int(in.A) >= len(ref.Ref.Fields) {
+				throwf("putfield %d outside %q's %d fields%s", in.A, ref.Ref.Class(), len(ref.Ref.Fields), m.at(pc-1))
 			}
 			ref.Ref.Fields[in.A] = val
 		case OpMonitorEnter:
 			ref := pop()
 			if ref.Ref == nil {
-				throwf("monitorenter on nil reference")
+				throwf("monitorenter on nil reference%s", m.at(pc-1))
 			}
 			telemetry.Inc(t, telemetry.CtrVMMonitorEnter)
 			if lockprof.Enabled() {
@@ -399,11 +464,11 @@ func (v *VM) exec(t *threading.Thread, m *Method, args []Value) (result Value, t
 		case OpMonitorExit:
 			ref := pop()
 			if ref.Ref == nil {
-				throwf("monitorexit on nil reference")
+				throwf("monitorexit on nil reference%s", m.at(pc-1))
 			}
 			telemetry.Inc(t, telemetry.CtrVMMonitorExit)
 			if err := v.locker.Unlock(t, ref.Ref.Object); err != nil {
-				throwf("monitorexit: %v", err)
+				throwf("illegal monitor state at monitorexit%s: %v", m.at(pc-1), err)
 			}
 		case OpInvoke:
 			callee := v.prog.Methods[in.A]
@@ -411,7 +476,7 @@ func (v *VM) exec(t *threading.Thread, m *Method, args []Value) (result Value, t
 			for i := callee.NumArgs - 1; i >= 0; i-- {
 				cargs[i] = pop()
 			}
-			res, calleeThrew := v.exec(t, callee, cargs)
+			res, calleeThrew := v.exec(t, callee, cargs, steps)
 			if calleeThrew {
 				newPC, propagate := doThrow(res, pc-1)
 				if propagate {

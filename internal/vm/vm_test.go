@@ -299,7 +299,11 @@ func TestRunErrors(t *testing.T) {
 	v, th := newVM(t, func(p *Program) {
 		p.AddMethod(&Method{
 			Name: "nilderef", Flags: FlagStatic, MaxLocals: 1,
-			Code: NewAsm().Aload(0).MonitorEnter().Return().MustBuild(),
+			Code: NewAsm().
+				Aload(0).MonitorEnter().
+				Aload(0).MonitorExit().
+				Return().
+				MustBuild(),
 		})
 	})
 	if _, err := v.Run(th, "missing"); err == nil {
@@ -315,19 +319,47 @@ func TestRunErrors(t *testing.T) {
 
 func TestUnbalancedMonitorExitErrors(t *testing.T) {
 	t.Parallel()
-	v, th := newVM(t, func(p *Program) {
-		p.AddClass(&Class{Name: "X", NumFields: 0})
-		p.AddMethod(&Method{
-			Name: "bad", Flags: FlagStatic, MaxLocals: 1,
-			Code: NewAsm().
-				New(0).Astore(0).
-				Aload(0).MonitorExit().
-				Return().
-				MustBuild(),
-		})
+	// The structured-locking verifier rejects this statically; build the
+	// VM with that layer off to reach the runtime trap it backstops.
+	p := NewProgram()
+	p.AddClass(&Class{Name: "X", NumFields: 0})
+	p.AddMethod(&Method{
+		Name: "bad", Flags: FlagStatic, MaxLocals: 1,
+		Code: NewAsm().
+			New(0).Astore(0).
+			Aload(0).MonitorExit().
+			Return().
+			MustBuild(),
 	})
-	if _, err := v.Run(th, "bad"); err == nil || !strings.Contains(err.Error(), "monitorexit") {
-		t.Errorf("err = %v, want monitorexit failure", err)
+	v, err := New(p, core.NewDefault(), object.NewHeap(), WithoutStructuredLocking())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := threading.NewRegistry()
+	th, err := reg.Attach("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.Run(th, "bad"); err == nil || !strings.Contains(err.Error(), "illegal monitor state") {
+		t.Errorf("err = %v, want illegal monitor state failure", err)
+	}
+}
+
+func TestVerifierRejectsUnbalancedMonitorExit(t *testing.T) {
+	t.Parallel()
+	p := NewProgram()
+	p.AddClass(&Class{Name: "X", NumFields: 0})
+	p.AddMethod(&Method{
+		Name: "bad", Flags: FlagStatic, MaxLocals: 1,
+		Code: NewAsm().
+			New(0).Astore(0).
+			Aload(0).MonitorExit().
+			Return().
+			MustBuild(),
+	})
+	_, err := New(p, core.NewDefault(), object.NewHeap())
+	if err == nil || !strings.Contains(err.Error(), "no monitor held") {
+		t.Errorf("err = %v, want static no-monitor-held rejection", err)
 	}
 }
 

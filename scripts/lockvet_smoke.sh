@@ -1,0 +1,63 @@
+#!/bin/sh
+# lockvet_smoke.sh — end-to-end smoke test of the static lock checker:
+#
+#   1. `go vet -vettool=lockvet ./...` over the whole repo must come back
+#      clean: no lock-word races, no leaked Lock/Unlock pairs, no
+#      allocations in //lockvet:noalloc hot paths, no bare ignores;
+#   2. every minijava corpus program must compile, pass the
+#      structured-locking verifier, and carry the expected static
+#      lock-order verdict (files named *abba* must cycle, others not);
+#   3. the abba program must be flagged (exit 1, inversion in the
+#      report) and the ordered dining program must stay silent (exit 0);
+#   4. the static graph must diff against a real runtime lockdep export:
+#      run the abba workload under `lockmon -lockdep-json`, feed the
+#      export to `lockvet -runtime`, and require both static edges to
+#      match observed runtime edges with zero static-only leftovers.
+#
+# Usage: scripts/lockvet_smoke.sh [outdir]   (default results/lockvet)
+set -eu
+
+GO="${GO:-go}"
+OUT="${1:-results/lockvet}"
+mkdir -p "$OUT"
+
+BIN_DIR=$(mktemp -d)
+trap 'rm -rf "$BIN_DIR"' EXIT INT TERM
+"$GO" build -o "$BIN_DIR/lockvet" ./cmd/lockvet
+
+echo "== 1/4 go vet -vettool: repo must be lockvet-clean"
+"$GO" vet -vettool="$BIN_DIR/lockvet" ./...
+
+echo "== 2/4 bytecode corpora: verifier + expected static verdicts"
+"$BIN_DIR/lockvet" -corpus internal/minijava/testdata/programs
+"$BIN_DIR/lockvet" -corpus internal/staticlock/testdata
+
+echo "== 3/4 abba must be flagged, ordered dining must stay silent"
+STATUS=0
+"$BIN_DIR/lockvet" -prog internal/staticlock/testdata/abba.mj \
+    -dot "$OUT/abba.dot" >"$OUT/abba.log" 2>&1 || STATUS=$?
+[ "$STATUS" -eq 1 ] \
+    || { echo "FAIL: abba.mj exited $STATUS, want 1"; cat "$OUT/abba.log"; exit 1; }
+grep -q "lock-order inversion #1" "$OUT/abba.log" \
+    || { echo "FAIL: abba report has no inversion"; cat "$OUT/abba.log"; exit 1; }
+grep -q '"GuardA" -> "GuardB"' "$OUT/abba.dot" \
+    || { echo "FAIL: abba DOT export is missing the A->B edge"; cat "$OUT/abba.dot"; exit 1; }
+"$BIN_DIR/lockvet" -prog internal/staticlock/testdata/dining.mj >"$OUT/dining.log" 2>&1 \
+    || { echo "FAIL: ordered dining was flagged"; cat "$OUT/dining.log"; exit 1; }
+grep -q "0 static cycles" "$OUT/dining.log" \
+    || { echo "FAIL: dining report is not clean"; cat "$OUT/dining.log"; exit 1; }
+
+echo "== 4/4 static graph vs a real runtime lockdep export"
+"$GO" run ./cmd/lockmon -workload abba -lockdep-json "$OUT/abba_runtime.json" \
+    -top 0 >"$OUT/lockmon.log" 2>&1
+STATUS=0
+"$BIN_DIR/lockvet" -prog internal/staticlock/testdata/abba.mj \
+    -runtime "$OUT/abba_runtime.json" >"$OUT/diff.log" 2>&1 || STATUS=$?
+[ "$STATUS" -eq 1 ] \
+    || { echo "FAIL: runtime diff run exited $STATUS, want 1 (cycles)"; cat "$OUT/diff.log"; exit 1; }
+grep -q "2 matched" "$OUT/diff.log" \
+    || { echo "FAIL: static edges did not match the runtime export"; cat "$OUT/diff.log"; exit 1; }
+grep -q "0 static-only" "$OUT/diff.log" \
+    || { echo "FAIL: static graph predicts edges the runtime never took"; cat "$OUT/diff.log"; exit 1; }
+
+echo "OK: lockvet smoke passed (logs in $OUT)"
