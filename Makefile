@@ -32,9 +32,11 @@ race:
 # race-locks runs the two lock-word protocol packages (biased
 # reservation and thin locks) under the race detector at full strength
 # (no -short): the revocation handshake's store/load ordering is exactly
-# what the detector is for.
+# what the detector is for. The lockscope package rides along: its
+# lock-free sample ring (concurrent sampler vs. readers) and its
+# disabled/enabled overhead contract are race-sensitive by design.
 race-locks:
-	$(GO) test -race -count=1 ./internal/biased/... ./internal/core/...
+	$(GO) test -race -count=1 ./internal/biased/... ./internal/core/... ./internal/lockscope/...
 
 # check runs the concurrent differential checker CLI over every lock
 # implementation, and the exhaustive small-scope explorer.
@@ -48,9 +50,12 @@ check: build
 # Perfetto trace and the pprof contention profile (lockmon self-validates
 # the JSON artifacts), run the trace-format and overhead tests, and then
 # smoke the live HTTP server: scripts/obs_smoke_serve.sh starts
-# `lockmon -serve`, curls /metrics, /debug/vars, /debug/lockprof/top
-# (>= 2 contended sites) and /debug/pprof/lockcontention, and validates
-# the profile with `go tool pprof -raw`.
+# `lockmon -serve -scope`, curls /metrics, /debug/vars,
+# /debug/lockprof/top (>= 2 contended sites), /debug/pprof/lockcontention
+# (validated with `go tool pprof -raw`), /debug/lockscope/series (>= 2
+# windows with activity, JSON and CSV), the /debug/lockscope/stream SSE
+# feed and the dashboard, and finally runs macrobench -timeseries over
+# bankmt and sessiond and validates the written phase timelines.
 obs-smoke: build
 	mkdir -p results/obs
 	$(GO) run ./cmd/lockmon -workload bankmt \
@@ -58,8 +63,8 @@ obs-smoke: build
 		-prom results/obs/snapshot.prom \
 		-trace results/obs/trace.json \
 		-pprof results/obs/lockmon.pb.gz
-	$(GO) test -run 'TestChromeTrace|TestDisabledHooks|TestEnabledSlowPath|TestDisabledProfiler|TestPprofProfile' \
-		./internal/locktrace/ ./internal/telemetry/ ./internal/lockprof/
+	$(GO) test -run 'TestChromeTrace|TestDisabledHooks|TestEnabledSlowPath|TestDisabledProfiler|TestPprofProfile|TestDisabledScope|TestEnabledScope' \
+		./internal/locktrace/ ./internal/telemetry/ ./internal/lockprof/ ./internal/lockscope/
 	GO="$(GO)" scripts/obs_smoke_serve.sh results/obs
 
 # deadlock-smoke exercises the lock-order watchdog end to end:

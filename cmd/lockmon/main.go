@@ -8,7 +8,7 @@
 // Usage:
 //
 //	lockmon -list
-//	lockmon [-workload name] [-impl name] [-size N] [-live] [-interval D]
+//	lockmon [-workload name] [-impl name] [-size N] [-live] [-scope] [-interval D]
 //	        [-json file] [-prom file] [-trace file] [-pprof file]
 //	        [-top N] [-prof-rate N] [-repeat N]
 //	        [-serve addr] [-hold D]
@@ -29,13 +29,23 @@
 //	/debug/lockdep/graph         lock-order graph (DOT or JSON)
 //	/debug/lockdep/waitfor       live wait-for snapshot + cycle detector
 //	/debug/lockdep/report        full lockdep report
+//	/debug/lockscope/            live contention dashboard (with -scope)
+//	/debug/lockscope/series      windowed time-series (JSON or CSV)
+//	/debug/lockscope/stream      live sample stream (server-sent events)
 //
 // A SIGINT or SIGTERM drains the HTTP server gracefully (in-flight
 // scrapes complete), prints a final telemetry snapshot, and exits 0.
 //
 // -repeat reruns the workload to lengthen the observation window, and
 // -hold keeps the server up after the last run so scrapers can collect
-// the final state.
+// the final state. -hold has no effect without -serve (lockmon warns
+// and ignores it).
+//
+// -scope enables the lockscope time-series sampler: live sampling of
+// windowed contention rates at the chosen -interval cadence, printed
+// per window to stderr with a slow-path-rate sparkline, with an anomaly
+// summary after the run. Combined with -serve, the same sampler backs
+// the /debug/lockscope endpoints and the live dashboard.
 //
 // -lockdep enables the lock-order watchdog and prints its report
 // (inversions, wait-for state) after the run; -lockdep-dot also writes
@@ -68,6 +78,7 @@ import (
 	"thinlock/internal/lockapi"
 	"thinlock/internal/lockdep"
 	"thinlock/internal/lockprof"
+	"thinlock/internal/lockscope"
 	"thinlock/internal/locktrace"
 	"thinlock/internal/object"
 	"thinlock/internal/telemetry"
@@ -81,7 +92,8 @@ func main() {
 	impl := flag.String("impl", "ThinLock", "lock implementation: "+strings.Join(bench.Names(bench.StandardImpls()), ", "))
 	size := flag.Int("size", 0, "workload size (0 = the workload's default)")
 	live := flag.Bool("live", false, "print live counter deltas to stderr while running")
-	interval := flag.Duration("interval", 250*time.Millisecond, "live print interval")
+	scope := flag.Bool("scope", false, "enable the lockscope time-series sampler (windowed rates at the -interval cadence, printed live to stderr; backs /debug/lockscope with -serve)")
+	interval := flag.Duration("interval", 250*time.Millisecond, "live print and lockscope sampling interval")
 	jsonOut := flag.String("json", "", "write expvar-style JSON snapshot to this file (- for stdout)")
 	promOut := flag.String("prom", "", "write Prometheus text-format snapshot to this file (- for stdout)")
 	traceOut := flag.String("trace", "", "write Chrome trace-event JSON to this file (- for stdout)")
@@ -155,10 +167,42 @@ func main() {
 		locker = tracer
 	}
 
+	if *hold > 0 && *serve == "" {
+		fmt.Fprintln(os.Stderr, "lockmon: -hold has no effect without -serve")
+	}
+
 	m := telemetry.Enable(telemetry.New())
 	defer telemetry.Disable()
 	prof := lockprof.Enable(lockprof.New(lockprof.Config{SampleEvery: *profRate}))
 	defer lockprof.Disable()
+
+	var sc *lockscope.Scope
+	cancelScope := func() {}
+	scopeDone := make(chan struct{})
+	if *scope {
+		sc = lockscope.Enable(lockscope.New(lockscope.Config{Interval: *interval}))
+		defer lockscope.Disable()
+		var updates <-chan lockscope.Update
+		updates, cancelScope = sc.Subscribe()
+		go func() {
+			defer close(scopeDone)
+			// The sparkline tracks the slow-path rate over the most
+			// recent windows, so a glance shows the trend, not just the
+			// latest number.
+			var rates []float64
+			for u := range updates {
+				rates = append(rates, u.Sample.SlowPerSec)
+				if len(rates) > 30 {
+					rates = rates[1:]
+				}
+				fmt.Fprintln(os.Stderr, lockscope.FormatSampleLine(u.Sample, lockscope.Sparkline(rates)))
+			}
+		}()
+		sc.Start()
+		defer sc.Stop()
+	} else {
+		close(scopeDone)
+	}
 
 	if *watchdog > 0 || *lockdepDot != "" || *lockdepJSON != "" {
 		*useLockdep = true
@@ -320,9 +364,32 @@ func main() {
 		}
 	}
 
+	// The sampler keeps running through the hold window so the dashboard
+	// and stream stay live while scrapers collect.
 	if *serve != "" && *hold > 0 {
 		fmt.Printf("lockmon: holding server for %v\n", *hold)
 		time.Sleep(*hold)
+	}
+
+	if sc != nil {
+		// Quiesce the live printer, close the in-progress window so
+		// short runs still report, then summarize what the detector
+		// flagged.
+		sc.Stop()
+		cancelScope()
+		<-scopeDone
+		sc.ForceSample()
+		series := sc.Series(0)
+		fmt.Printf("\nlockscope: %d windows sampled at %v, %d anomaly(ies) flagged\n",
+			len(series.Samples), sc.Interval(), len(series.Anomalies))
+		for _, a := range series.Anomalies {
+			sites := ""
+			if len(a.Sites) > 0 {
+				sites = " at " + strings.Join(a.Sites, ", ")
+			}
+			fmt.Printf("lockscope:   window %d: %s spiked to %.3g (baseline %.3g, %.1f sigma)%s\n",
+				a.Index, a.Metric, a.Value, a.Mean, a.Score, sites)
+		}
 	}
 }
 

@@ -6,7 +6,15 @@
 //
 // Usage:
 //
-//	macrobench [-scale F] [-samples N] [-only name,name] [-table1] [-fig3] [-predict] [-telemetry] [-v]
+//	macrobench [-scale F] [-samples N] [-only name,name] [-table1] [-fig3] [-predict]
+//	           [-telemetry] [-timeseries] [-v]
+//
+// -timeseries records a lockscope contention timeline during the
+// Figure 5 run: the sampler captures windowed rates at the
+// -timeseries-interval cadence, each (implementation, workload) pair
+// becomes one phase cut at an exact boundary, and the per-workload
+// timelines land in -timeseries-dir/timeseries_<workload>.json along
+// with any anomalies the detector flagged.
 package main
 
 import (
@@ -16,11 +24,29 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"thinlock/internal/bench"
+	"thinlock/internal/lockprof"
+	"thinlock/internal/lockscope"
 	"thinlock/internal/telemetry"
 	"thinlock/internal/workloads"
 )
+
+// timeseriesPhase is one (implementation, workload) stretch of the
+// lockscope timeline.
+type timeseriesPhase struct {
+	Impl    string             `json:"impl"`
+	Samples []lockscope.Sample `json:"samples"`
+}
+
+// timeseriesFile is the schema of timeseries_<workload>.json.
+type timeseriesFile struct {
+	Workload   string              `json:"workload"`
+	IntervalNs int64               `json:"interval_ns"`
+	Phases     []timeseriesPhase   `json:"phases"`
+	Anomalies  []lockscope.Anomaly `json:"anomalies"`
+}
 
 func main() {
 	scale := flag.Float64("scale", 1, "workload size multiplier")
@@ -32,6 +58,9 @@ func main() {
 	space := flag.Bool("space", false, "print the lock-storage footprint comparison and exit")
 	withTelemetry := flag.Bool("telemetry", false, "record lock telemetry during the Figure 5 run and write per-workload snapshots to -telemetry-dir")
 	telemetryDir := flag.String("telemetry-dir", "results", "directory for -telemetry snapshot JSON files")
+	withTimeseries := flag.Bool("timeseries", false, "record a lockscope contention timeline during the Figure 5 run and write per-workload phase timelines to -timeseries-dir")
+	timeseriesInterval := flag.Duration("timeseries-interval", 50*time.Millisecond, "lockscope sampling cadence for -timeseries")
+	timeseriesDir := flag.String("timeseries-dir", "results", "directory for -timeseries timeline JSON files")
 	jsonOut := flag.Bool("json", false, "write machine-readable timings to -json-dir/bench_<workload>.json (compare runs with cmd/benchdiff)")
 	jsonDir := flag.String("json-dir", "results", "directory for -json result files")
 	verbose := flag.Bool("v", false, "print progress")
@@ -119,9 +148,82 @@ func main() {
 		}
 	}
 
+	// With -timeseries, the lockscope sampler runs through the whole
+	// Figure 5 sweep and each (implementation, workload) measurement is
+	// cut into its own phase at an exact window boundary. The profiler
+	// rides along at SampleEvery 1 so samples carry site attribution.
+	var tsData map[string]*timeseriesFile
+	var tsOrder []string
+	if *withTimeseries {
+		if !*withTelemetry {
+			telemetry.Enable(telemetry.New())
+			defer telemetry.Disable()
+		}
+		lockprof.Enable(lockprof.New(lockprof.Config{SampleEvery: 1}))
+		defer lockprof.Disable()
+		sc := lockscope.Enable(lockscope.New(lockscope.Config{
+			Interval: *timeseriesInterval,
+			// Long phases must not wrap out of the ring before the cut:
+			// 4096 windows is ~3.4 min of history at the default cadence.
+			Capacity: 4096,
+		}))
+		defer lockscope.Disable()
+		sc.Start()
+		defer sc.Stop()
+
+		tsData = make(map[string]*timeseriesFile)
+		var nextIdx uint64 // first sample index not yet consumed by a phase
+		prevAfter := cfg.AfterRun
+		cfg.AfterRun = func(f bench.Factory, w workloads.Workload) {
+			cut := sc.ForceSample() // close the phase at an exact boundary
+			var phase timeseriesPhase
+			phase.Impl = f.Name
+			for _, s := range sc.Series(0).Samples {
+				if s.Index >= nextIdx && s.Index <= cut.Index {
+					phase.Samples = append(phase.Samples, s)
+				}
+			}
+			nextIdx = cut.Index + 1
+			file := tsData[w.Name]
+			if file == nil {
+				file = &timeseriesFile{Workload: w.Name, IntervalNs: int64(sc.Interval())}
+				tsData[w.Name] = file
+				tsOrder = append(tsOrder, w.Name)
+			}
+			file.Phases = append(file.Phases, phase)
+			for _, s := range phase.Samples {
+				file.Anomalies = append(file.Anomalies, s.Anomalies...)
+			}
+			if prevAfter != nil {
+				// The -telemetry hook resets the counters; rebaseline so
+				// the next phase's first window does not difference
+				// against pre-reset cumulative values.
+				prevAfter(f, w)
+				nextIdx = sc.ForceSample().Index + 1
+			}
+		}
+	}
+
 	rs, err := bench.RunFigure5(cfg, progress)
 	if err != nil {
 		fail(err)
+	}
+
+	if *withTimeseries {
+		if err := os.MkdirAll(*timeseriesDir, 0o755); err != nil {
+			fail(err)
+		}
+		for _, name := range tsOrder {
+			path := filepath.Join(*timeseriesDir, "timeseries_"+name+".json")
+			data, err := json.MarshalIndent(tsData[name], "", "  ")
+			if err != nil {
+				fail(err)
+			}
+			if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+				fail(err)
+			}
+			fmt.Fprintln(os.Stderr, "timeseries:", path)
+		}
 	}
 
 	if *withTelemetry {

@@ -279,6 +279,9 @@ func (p *Profiler) UnlockSlow(t *threading.Thread, o *object.Object) {
 	if obj := s.heldObj.Swap(nil); obj != nil {
 		obj.HoldNs.Add(uint64(ns))
 	}
+	// The measured hold also feeds the global hold-time distribution, so
+	// windowed hold percentiles (lockscope) exist without per-site math.
+	telemetry.Observe(t, telemetry.HistHoldNs, ns)
 }
 
 // Drops reports how many events the bounded tables discarded.

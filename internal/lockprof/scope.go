@@ -1,0 +1,136 @@
+package lockprof
+
+// The lockscope integration: this file installs the per-site counter
+// feed the time-series sampler differences (lockscope cannot import
+// lockprof — lockprof serves its endpoints) and implements the
+// /debug/lockscope/* handlers registered in server.go.
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+
+	"thinlock/internal/lockscope"
+)
+
+// init installs the profiler as lockscope's per-site counter source.
+// The feed reads the globally installed profiler at sampling time, so
+// it is safe to install unconditionally: with the profiler disabled it
+// returns nil and the sampler's site timelines simply stay empty.
+func init() {
+	lockscope.SetSiteSource(func() []lockscope.SiteCount {
+		p := Active()
+		if p == nil {
+			return nil
+		}
+		snap := p.Snapshot()
+		out := make([]lockscope.SiteCount, 0, len(snap.Sites))
+		for _, st := range snap.Sites {
+			out = append(out, lockscope.SiteCount{
+				Label:       st.Label,
+				Kind:        st.Kind,
+				SlowEntries: st.SlowEntries,
+				CASFailures: st.CASFailures,
+				ParkNs:      st.ParkNs,
+				DelayNs:     st.DelayNs,
+			})
+		}
+		return out
+	})
+}
+
+// activeScope answers the install check for the lockscope endpoints,
+// writing the 503 itself when the sampler is off.
+func activeScope(w http.ResponseWriter) *lockscope.Scope {
+	sc := lockscope.Active()
+	if sc == nil {
+		http.Error(w, "lockscope disabled", http.StatusServiceUnavailable)
+	}
+	return sc
+}
+
+func serveScopeSeries(w http.ResponseWriter, r *http.Request) {
+	sc := activeScope(w)
+	if sc == nil {
+		return
+	}
+	n, _ := strconv.Atoi(r.URL.Query().Get("n"))
+	series := sc.Series(n)
+	switch r.URL.Query().Get("format") {
+	case "csv":
+		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+		_ = series.WriteCSV(w)
+	case "", "json":
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = series.WriteJSON(w)
+	default:
+		http.Error(w, "unknown format (want json or csv)", http.StatusBadRequest)
+	}
+}
+
+// serveScopeStream is the live feed: one server-sent event per
+// published window ("sample"), plus one per fired anomaly ("anomaly"),
+// until the client disconnects. A subscriber that stalls misses
+// windows rather than stalling the sampler, so the stream is
+// best-effort by construction.
+func serveScopeStream(w http.ResponseWriter, r *http.Request) {
+	sc := activeScope(w)
+	if sc == nil {
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	updates, cancel := sc.Subscribe()
+	defer cancel()
+	emit := func(event string, v any) bool {
+		data, err := json.Marshal(v)
+		if err != nil {
+			return false
+		}
+		if _, err := w.Write([]byte("event: " + event + "\ndata: " + string(data) + "\n\n")); err != nil {
+			return false
+		}
+		fl.Flush()
+		return true
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case u, open := <-updates:
+			if !open {
+				return
+			}
+			if !emit("sample", u.Sample) {
+				return
+			}
+			for _, a := range u.Anomalies {
+				if !emit("anomaly", a) {
+					return
+				}
+			}
+		}
+	}
+}
+
+func serveScopeDashboard(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/debug/lockscope/" {
+		http.NotFound(w, r)
+		return
+	}
+	// The dashboard itself is static and served even while the sampler
+	// is disabled — it reports that state in-page and recovers live the
+	// moment lockscope is enabled, which beats a bare 503 for a page a
+	// human has open in a tab.
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	_, _ = w.Write([]byte(lockscope.DashboardHTML))
+}

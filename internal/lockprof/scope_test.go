@@ -1,0 +1,221 @@
+package lockprof_test
+
+// Endpoint contract tests for the /debug/lockscope routes and the
+// route-table index: the index page is generated from the same table
+// the mux registers from, so the two cannot drift.
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"thinlock/internal/lockprof"
+	"thinlock/internal/lockscope"
+	"thinlock/internal/telemetry"
+)
+
+// TestIndexListsEveryRegisteredRoute asserts the satellite contract:
+// every pattern in the registration table appears on the generated
+// index page.
+func TestIndexListsEveryRegisteredRoute(t *testing.T) {
+	srv := httptest.NewServer(lockprof.Handler())
+	t.Cleanup(srv.Close)
+	code, body, _ := get(t, srv, "/")
+	if code != 200 {
+		t.Fatalf("/ = %d, want 200", code)
+	}
+	routes := lockprof.Routes()
+	if len(routes) < 11 {
+		t.Fatalf("route table lists %d routes, want the full endpoint set", len(routes))
+	}
+	for _, rt := range routes {
+		if !strings.Contains(body, rt.Pattern) {
+			t.Errorf("index page missing registered route %q:\n%s", rt.Pattern, body)
+		}
+		if rt.Doc == "" {
+			t.Errorf("route %q has no doc line", rt.Pattern)
+		}
+		if !strings.Contains(body, rt.Doc) {
+			t.Errorf("index page missing doc for %q", rt.Pattern)
+		}
+	}
+}
+
+// newScopeFixture installs telemetry + lockscope (manual sampling) and
+// a server, and publishes two windows with slow-path activity. Not
+// parallel: owns the global registrations.
+func newScopeFixture(t *testing.T) (*httptest.Server, *lockscope.Scope) {
+	t.Helper()
+	m := telemetry.Enable(telemetry.New())
+	t.Cleanup(telemetry.Disable)
+	sc := lockscope.Enable(lockscope.New(lockscope.Config{}))
+	t.Cleanup(lockscope.Disable)
+	m.Add(nil, telemetry.CtrSlowPathEntries, 100)
+	m.Add(nil, telemetry.CtrCASFailures, 10)
+	sc.ForceSample()
+	m.Add(nil, telemetry.CtrSlowPathEntries, 50)
+	sc.ForceSample()
+	srv := httptest.NewServer(lockprof.Handler())
+	t.Cleanup(srv.Close)
+	return srv, sc
+}
+
+// Not parallel: owns the global telemetry/lockscope registrations.
+func TestScopeSeriesEndpoint(t *testing.T) {
+	srv, _ := newScopeFixture(t)
+
+	code, body, ct := get(t, srv, "/debug/lockscope/series")
+	if code != 200 || !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("/debug/lockscope/series = %d (%s), want 200 JSON", code, ct)
+	}
+	var series lockscope.Series
+	if err := json.Unmarshal([]byte(body), &series); err != nil {
+		t.Fatalf("series is not valid JSON: %v", err)
+	}
+	if len(series.Samples) != 2 || series.Samples[0].SlowPerSec <= 0 {
+		t.Errorf("series = %d samples (first slow/s %v), want 2 with activity",
+			len(series.Samples), series.Samples[0].SlowPerSec)
+	}
+
+	// ?n= limits to the newest windows.
+	_, body, _ = get(t, srv, "/debug/lockscope/series?n=1")
+	if err := json.Unmarshal([]byte(body), &series); err != nil {
+		t.Fatal(err)
+	}
+	if len(series.Samples) != 1 || series.Samples[0].Index != 1 {
+		t.Errorf("series?n=1 = %+v, want just window 1", series.Samples)
+	}
+
+	// CSV format: fixed header, one row per sample.
+	code, body, ct = get(t, srv, "/debug/lockscope/series?format=csv")
+	if code != 200 || !strings.HasPrefix(ct, "text/csv") {
+		t.Errorf("series?format=csv = %d (%s), want 200 text/csv", code, ct)
+	}
+	lines := strings.Split(strings.TrimSpace(body), "\n")
+	if len(lines) != 3 || !strings.HasPrefix(lines[0], "index,at_ns,window_ns,slow_per_sec") {
+		t.Errorf("csv = %d lines with header %q, want header + 2 rows", len(lines), lines[0])
+	}
+
+	if code, _, _ := get(t, srv, "/debug/lockscope/series?format=yaml"); code != 400 {
+		t.Errorf("series?format=yaml = %d, want 400", code)
+	}
+}
+
+// Not parallel: owns the global telemetry/lockscope registrations.
+func TestScopeStreamDeliversSSE(t *testing.T) {
+	srv, sc := newScopeFixture(t)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, "GET", srv.URL+"/debug/lockscope/stream", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := srv.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 || !strings.HasPrefix(resp.Header.Get("Content-Type"), "text/event-stream") {
+		t.Fatalf("stream = %d (%s), want 200 text/event-stream",
+			resp.StatusCode, resp.Header.Get("Content-Type"))
+	}
+
+	// Publish two windows while the stream is attached; each must arrive
+	// as an SSE frame whose data line carries the sample JSON.
+	go func() {
+		for i := 0; i < 2; i++ {
+			time.Sleep(10 * time.Millisecond)
+			sc.ForceSample()
+		}
+	}()
+	scanner := bufio.NewScanner(resp.Body)
+	var events, datas int
+	for scanner.Scan() && datas < 2 {
+		line := scanner.Text()
+		if line == "event: sample" {
+			events++
+		}
+		if strings.HasPrefix(line, "data: ") {
+			datas++
+			var sm lockscope.Sample
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &sm); err != nil {
+				t.Errorf("SSE data is not a sample: %v (%q)", err, line)
+			}
+		}
+	}
+	if events < 2 || datas < 2 {
+		t.Errorf("stream delivered %d sample events / %d data frames, want >=2 each", events, datas)
+	}
+}
+
+// Not parallel: owns the global telemetry/lockscope registrations.
+func TestScopeDashboard(t *testing.T) {
+	srv, _ := newScopeFixture(t)
+	code, body, ct := get(t, srv, "/debug/lockscope/")
+	if code != 200 || !strings.HasPrefix(ct, "text/html") {
+		t.Fatalf("dashboard = %d (%s), want 200 text/html", code, ct)
+	}
+	for _, want := range []string{
+		"<!DOCTYPE html>", "lockscope", "/debug/lockscope/series", "/debug/lockscope/stream",
+		"prefers-color-scheme", // dark mode is selected, not an automatic flip
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("dashboard missing %q", want)
+		}
+	}
+	if code, _, _ := get(t, srv, "/debug/lockscope/nonsense"); code != 404 {
+		t.Errorf("dashboard subpath = %d, want 404", code)
+	}
+}
+
+// Not parallel: owns the global lockscope registration (deliberately none).
+func TestScopeEndpointsAnswer503WhenDisabled(t *testing.T) {
+	lockscope.Disable()
+	srv := httptest.NewServer(lockprof.Handler())
+	t.Cleanup(srv.Close)
+	for _, path := range []string{"/debug/lockscope/series", "/debug/lockscope/stream"} {
+		if code, body, _ := get(t, srv, path); code != 503 || !strings.Contains(body, "lockscope disabled") {
+			t.Errorf("%s with lockscope disabled = %d, want 503", path, code)
+		}
+	}
+	// The dashboard stays up (it reports the disabled state in-page).
+	if code, _, _ := get(t, srv, "/debug/lockscope/"); code != 200 {
+		t.Errorf("dashboard with lockscope disabled = %d, want 200", code)
+	}
+}
+
+// TestSiteSourceFeedsProfilerCounts exercises the init-installed
+// SiteSource: with the profiler enabled and a contended site recorded,
+// a lockscope window attributes the activity to that site. Not
+// parallel: owns the global registrations.
+func TestSiteSourceFeedsProfilerCounts(t *testing.T) {
+	telemetry.Enable(telemetry.New())
+	t.Cleanup(telemetry.Disable)
+	lockprof.Enable(lockprof.New(lockprof.Config{SampleEvery: 1}))
+	t.Cleanup(lockprof.Disable)
+	sc := lockscope.Enable(lockscope.New(lockscope.Config{}))
+	t.Cleanup(lockscope.Disable)
+
+	f := newLockFixture(t)
+	f.l.Lock(f.th, f.o)
+	f.l.Lock(f.th, f.o) // nested: slow path, so lockprof records the site
+	if err := f.l.Unlock(f.th, f.o); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.l.Unlock(f.th, f.o); err != nil {
+		t.Fatal(err)
+	}
+	s := sc.ForceSample()
+	if len(s.Sites) == 0 {
+		t.Fatal("window has no site timeline; SiteSource feed not wired")
+	}
+	if s.Sites[0].SlowEntries == 0 {
+		t.Errorf("top site = %+v, want nonzero slow entries", s.Sites[0])
+	}
+}

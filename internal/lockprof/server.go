@@ -18,30 +18,68 @@ type MergedSnapshot struct {
 	LockProf  *Snapshot           `json:"lockprof,omitempty"`
 }
 
-// Handler returns the live observability endpoint mux:
+// Route is one registered observability endpoint. The index page is
+// generated from this table, so the two cannot drift apart.
+type Route struct {
+	// Pattern is the mux registration pattern.
+	Pattern string
+	// Example is the display form shown on the index (the pattern plus
+	// its most useful query parameters).
+	Example string
+	// Doc is a one-line description.
+	Doc string
+
+	handler http.HandlerFunc
+}
+
+// routes is the single registration table behind Handler, Routes and
+// the generated index page.
+var routes = []Route{
+	{"/metrics", "/metrics",
+		"Prometheus text: telemetry + lockprof site series", serveMetrics},
+	{"/debug/vars", "/debug/vars",
+		"merged JSON snapshot (telemetry + lockprof)", serveVars},
+	{"/debug/lockprof/top", "/debug/lockprof/top?n=20",
+		"human-readable top-N hot locks", serveTop},
+	{"/debug/lockprof/snapshot", "/debug/lockprof/snapshot",
+		"full lockprof snapshot as JSON", serveSnapshot},
+	{"/debug/pprof/lockcontention", "/debug/pprof/lockcontention",
+		"pprof contention profile (gzip protobuf)", servePprof},
+	{"/debug/lockdep/graph", "/debug/lockdep/graph?format=dot",
+		"lock-order graph (format=dot|json)", serveLockdepGraph},
+	{"/debug/lockdep/waitfor", "/debug/lockdep/waitfor",
+		"live wait-for snapshot + cycles as JSON", serveLockdepWaitFor},
+	{"/debug/lockdep/report", "/debug/lockdep/report?format=text",
+		"inversion/deadlock report (format=text|json)", serveLockdepReport},
+	{"/debug/lockscope/series", "/debug/lockscope/series?n=0&format=json",
+		"windowed time-series samples (format=json|csv)", serveScopeSeries},
+	{"/debug/lockscope/stream", "/debug/lockscope/stream",
+		"live sample stream (server-sent events)", serveScopeStream},
+	{"/debug/lockscope/", "/debug/lockscope/",
+		"live contention dashboard (HTML)", serveScopeDashboard},
+}
+
+// Routes returns a copy of the endpoint registration table, in
+// registration order (the index page's order).
+func Routes() []Route {
+	out := make([]Route, len(routes))
+	copy(out, routes)
+	return out
+}
+
+// Handler returns the live observability endpoint mux. The endpoint
+// set is defined by the routes table — see Routes — and the index at /
+// is generated from the same table.
 //
-//	/metrics                     Prometheus text: telemetry + lockprof site series
-//	/debug/vars                  merged JSON snapshot (telemetry + lockprof)
-//	/debug/lockprof/top          human-readable top-N hot locks (?n=20)
-//	/debug/lockprof/snapshot     full lockprof snapshot as JSON
-//	/debug/pprof/lockcontention  pprof contention profile (gzip protobuf)
-//	/debug/lockdep/graph         lock-order graph (?format=dot|json, default dot)
-//	/debug/lockdep/waitfor       live wait-for snapshot + cycles as JSON
-//	/debug/lockdep/report        inversion/deadlock report (?format=text|json)
-//
-// Each request reads the globally installed telemetry/profiler/lockdep
-// at handling time, so the handler can be registered before any is
-// enabled; endpoints whose source is disabled answer 503.
+// Each request reads the globally installed telemetry, profiler,
+// lockdep and lockscope instances at handling time, so the handler can
+// be registered before any is enabled; endpoints whose source is
+// disabled answer 503.
 func Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", serveMetrics)
-	mux.HandleFunc("/debug/vars", serveVars)
-	mux.HandleFunc("/debug/lockprof/top", serveTop)
-	mux.HandleFunc("/debug/lockprof/snapshot", serveSnapshot)
-	mux.HandleFunc("/debug/pprof/lockcontention", servePprof)
-	mux.HandleFunc("/debug/lockdep/graph", serveLockdepGraph)
-	mux.HandleFunc("/debug/lockdep/waitfor", serveLockdepWaitFor)
-	mux.HandleFunc("/debug/lockdep/report", serveLockdepReport)
+	for _, rt := range routes {
+		mux.HandleFunc(rt.Pattern, rt.handler)
+	}
 	mux.HandleFunc("/", serveIndex)
 	return mux
 }
@@ -53,17 +91,14 @@ func serveIndex(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintln(w, "thinlock observability endpoints:")
-	for _, p := range []string{
-		"/metrics",
-		"/debug/vars",
-		"/debug/lockprof/top?n=20",
-		"/debug/lockprof/snapshot",
-		"/debug/pprof/lockcontention",
-		"/debug/lockdep/graph?format=dot",
-		"/debug/lockdep/waitfor",
-		"/debug/lockdep/report",
-	} {
-		fmt.Fprintln(w, "  "+p)
+	wid := 0
+	for _, rt := range routes {
+		if len(rt.Example) > wid {
+			wid = len(rt.Example)
+		}
+	}
+	for _, rt := range routes {
+		fmt.Fprintf(w, "  %-*s  %s\n", wid, rt.Example, rt.Doc)
 	}
 }
 

@@ -1,0 +1,54 @@
+package lockscope
+
+import "math"
+
+// ewma tracks an exponentially weighted mean and variance of one
+// metric, the baseline the anomaly detector judges each new window
+// against. The variance EWMA uses the same smoothing factor (a standard
+// EWMA control chart); sigma is floored at a fraction of the mean so a
+// perfectly flat warmup cannot make any subsequent nonzero value an
+// "infinite sigma" spike.
+type ewma struct {
+	n        int
+	mean     float64
+	variance float64
+}
+
+// observe scores x against the state accumulated so far, then folds x
+// into the baseline. It reports anomalous only when the detector is
+// past warmup, x clears the metric's absolute floor (minValue), and x
+// sits more than sigmaK standard deviations above the mean — spikes
+// only; contention falling off a cliff is good news, not an anomaly.
+//
+// The returned mean/sigma are the pre-update baseline (what the report
+// shows the spike was judged against).
+func (e *ewma) observe(x, alpha, sigmaK float64, warmup int, minValue float64) (score, mean, sigma float64, anomalous bool) {
+	mean = e.mean
+	sigma = math.Sqrt(e.variance)
+	// Floors keep sigma nonzero after a flat (often all-idle) warmup:
+	// without them the first nonzero window would divide by zero, and
+	// with a pure epsilon every rounding wiggle would be a spike. The
+	// minValue-derived floor scales the "meaningful change" to the
+	// metric's own noise threshold.
+	if floor := 0.1 * math.Abs(mean); sigma < floor {
+		sigma = floor
+	}
+	if floor := 0.05 * minValue; sigma < floor {
+		sigma = floor
+	}
+	if sigma > 0 {
+		score = (x - mean) / sigma
+	}
+	anomalous = e.n >= warmup && x >= minValue && x > mean && score > sigmaK
+
+	if e.n == 0 {
+		e.mean = x
+	} else {
+		diff := x - e.mean
+		incr := alpha * diff
+		e.mean += incr
+		e.variance = (1 - alpha) * (e.variance + diff*incr)
+	}
+	e.n++
+	return score, mean, sigma, anomalous
+}

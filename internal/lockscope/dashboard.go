@@ -1,0 +1,289 @@
+package lockscope
+
+// DashboardHTML is the self-contained live dashboard served at
+// /debug/lockscope/. No external assets, fonts or libraries: one page
+// of inline CSS and JS that subscribes to /debug/lockscope/stream
+// (falling back to polling /debug/lockscope/series when SSE is
+// unavailable) and renders stat tiles with canvas sparklines, the
+// current top-site table, and the anomaly log.
+//
+// Note for maintainers: this string is a Go raw literal, so the
+// embedded JavaScript must not use backtick template literals.
+const DashboardHTML = `<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<title>lockscope — live lock contention</title>
+<style>
+  :root {
+    color-scheme: light dark;
+    --surface-1: #fcfcfb; --surface-2: #f0efec;
+    --text-primary: #0b0b0b; --text-secondary: #52514e;
+    --series-slow: #2a78d6;   /* blue: slow-path rate */
+    --series-cas: #eb6834;    /* orange: CAS-failure ratio */
+    --series-park: #1baf7a;   /* aqua: park p99 */
+    --status-serious: #e34948;
+    --grid: #d8d7d2;
+  }
+  @media (prefers-color-scheme: dark) {
+    :root {
+      --surface-1: #1a1a19; --surface-2: #262624;
+      --text-primary: #ffffff; --text-secondary: #c3c2b7;
+      --series-slow: #3987e5;
+      --series-cas: #d95926;
+      --series-park: #199e70;
+      --status-serious: #e66767;
+      --grid: #3a3a37;
+    }
+  }
+  body { margin: 0; background: var(--surface-1); color: var(--text-primary);
+         font: 14px/1.5 system-ui, sans-serif; padding: 20px; }
+  h1 { font-size: 18px; margin: 0 0 2px; }
+  .sub { color: var(--text-secondary); font-size: 12px; margin-bottom: 16px; }
+  .sub .dot { display: inline-block; width: 8px; height: 8px; border-radius: 50%;
+              background: var(--series-park); margin-right: 4px; }
+  .sub.stale .dot { background: var(--status-serious); }
+  .tiles { display: flex; flex-wrap: wrap; gap: 12px; margin-bottom: 20px; }
+  .tile { background: var(--surface-2); border-radius: 8px; padding: 12px 14px;
+          min-width: 180px; flex: 1 1 180px; }
+  .tile .label { color: var(--text-secondary); font-size: 12px; }
+  .tile .value { font-size: 24px; font-variant-numeric: tabular-nums; margin: 2px 0 6px; }
+  .tile canvas { display: block; width: 100%; height: 36px; }
+  .tile .hover { color: var(--text-secondary); font-size: 11px; min-height: 14px;
+                 font-variant-numeric: tabular-nums; }
+  h2 { font-size: 14px; margin: 18px 0 6px; }
+  table { border-collapse: collapse; width: 100%; font-variant-numeric: tabular-nums; }
+  th, td { text-align: left; padding: 3px 10px 3px 0; border-bottom: 1px solid var(--grid);
+           font-size: 13px; }
+  th { color: var(--text-secondary); font-weight: 500; font-size: 12px; }
+  td.num, th.num { text-align: right; }
+  #anomalies li { margin: 2px 0; font-size: 13px; }
+  #anomalies .flag { color: var(--status-serious); font-weight: 600; }
+  #anomalies .when, .muted { color: var(--text-secondary); }
+</style>
+</head>
+<body>
+<h1>lockscope — live lock contention</h1>
+<div class="sub" id="status"><span class="dot"></span><span id="statustext">connecting…</span></div>
+
+<div class="tiles">
+  <div class="tile" data-metric="slow_per_sec" data-color="--series-slow" data-fmt="rate">
+    <div class="label">slow-path entries / s</div>
+    <div class="value">–</div><canvas></canvas><div class="hover"></div>
+  </div>
+  <div class="tile" data-metric="cas_fail_ratio" data-color="--series-cas" data-fmt="pct">
+    <div class="label">CAS-failure ratio</div>
+    <div class="value">–</div><canvas></canvas><div class="hover"></div>
+  </div>
+  <div class="tile" data-metric="park_p99_ns" data-color="--series-park" data-fmt="ns">
+    <div class="label">park p99</div>
+    <div class="value">–</div><canvas></canvas><div class="hover"></div>
+  </div>
+  <div class="tile" data-metric="hold_p99_ns" data-color="--series-park" data-fmt="ns">
+    <div class="label">hold p99</div>
+    <div class="value">–</div><canvas></canvas><div class="hover"></div>
+  </div>
+  <div class="tile" data-metric="inflations_per_sec" data-color="--series-slow" data-fmt="rate">
+    <div class="label">inflations / s</div>
+    <div class="value">–</div><canvas></canvas><div class="hover"></div>
+  </div>
+</div>
+
+<h2>Hottest sites (current window)</h2>
+<table id="sites">
+  <thead><tr><th>site</th><th class="num">slow entries</th><th class="num">CAS fails</th>
+  <th class="num">park</th><th class="num">delay</th></tr></thead>
+  <tbody><tr><td class="muted" colspan="5">waiting for samples…</td></tr></tbody>
+</table>
+
+<h2>Anomaly log</h2>
+<ul id="anomalies"><li class="muted">none observed</li></ul>
+
+<script>
+(function () {
+  "use strict";
+  var HISTORY = 120;
+  var samples = [];
+  var anomalies = [];
+  var statusEl = document.getElementById("status");
+  var statusText = document.getElementById("statustext");
+
+  function fmtNs(v) {
+    if (v >= 1e9) return (v / 1e9).toFixed(2) + "s";
+    if (v >= 1e6) return (v / 1e6).toFixed(2) + "ms";
+    if (v >= 1e3) return (v / 1e3).toFixed(1) + "µs";
+    return Math.round(v) + "ns";
+  }
+  function fmtVal(v, kind) {
+    if (kind === "pct") return (100 * v).toFixed(1) + "%";
+    if (kind === "ns") return fmtNs(v);
+    return v >= 1000 ? Math.round(v).toLocaleString() : v.toFixed(v >= 10 ? 0 : 1);
+  }
+
+  var tiles = [].slice.call(document.querySelectorAll(".tile")).map(function (el) {
+    return {
+      el: el,
+      metric: el.dataset.metric,
+      fmt: el.dataset.fmt,
+      color: getComputedStyle(document.documentElement).getPropertyValue(el.dataset.color).trim(),
+      value: el.querySelector(".value"),
+      canvas: el.querySelector("canvas"),
+      hover: el.querySelector(".hover")
+    };
+  });
+
+  function drawSpark(t) {
+    var c = t.canvas, dpr = window.devicePixelRatio || 1;
+    var w = c.clientWidth, h = c.clientHeight;
+    if (!w || !h) return;
+    c.width = w * dpr; c.height = h * dpr;
+    var ctx = c.getContext("2d");
+    ctx.scale(dpr, dpr);
+    ctx.clearRect(0, 0, w, h);
+    if (samples.length < 2) return;
+    var max = 0;
+    samples.forEach(function (s) { max = Math.max(max, s[t.metric] || 0); });
+    if (max <= 0) max = 1;
+    ctx.beginPath();
+    ctx.lineWidth = 2; ctx.lineJoin = "round"; ctx.strokeStyle = t.color;
+    samples.forEach(function (s, i) {
+      var x = i / (samples.length - 1) * (w - 2) + 1;
+      var y = h - 2 - ((s[t.metric] || 0) / max) * (h - 4);
+      if (i === 0) ctx.moveTo(x, y); else ctx.lineTo(x, y);
+    });
+    ctx.stroke();
+    // Flag anomalous windows on the strip: ring + fill, not color alone
+    // (the anomaly log below carries the textual record).
+    samples.forEach(function (s, i) {
+      if (!s.anomalies || !s.anomalies.length) return;
+      var x = i / (samples.length - 1) * (w - 2) + 1;
+      var y = h - 2 - ((s[t.metric] || 0) / max) * (h - 4);
+      ctx.beginPath();
+      ctx.arc(x, y, 4, 0, 2 * Math.PI);
+      ctx.fillStyle = getComputedStyle(document.documentElement)
+        .getPropertyValue("--status-serious").trim();
+      ctx.fill();
+      ctx.lineWidth = 2;
+      ctx.strokeStyle = getComputedStyle(document.documentElement)
+        .getPropertyValue("--surface-2").trim();
+      ctx.stroke();
+    });
+  }
+
+  tiles.forEach(function (t) {
+    t.canvas.addEventListener("mousemove", function (ev) {
+      if (!samples.length) return;
+      var r = t.canvas.getBoundingClientRect();
+      var i = Math.round((ev.clientX - r.left) / Math.max(1, r.width) * (samples.length - 1));
+      i = Math.max(0, Math.min(samples.length - 1, i));
+      var s = samples[i];
+      t.hover.textContent = "t+" + (s.at_ns / 1e9).toFixed(1) + "s: " +
+        fmtVal(s[t.metric] || 0, t.fmt);
+    });
+    t.canvas.addEventListener("mouseleave", function () { t.hover.textContent = ""; });
+  });
+
+  function render() {
+    var cur = samples[samples.length - 1];
+    tiles.forEach(function (t) {
+      if (cur) t.value.textContent = fmtVal(cur[t.metric] || 0, t.fmt);
+      drawSpark(t);
+    });
+    var tbody = document.querySelector("#sites tbody");
+    if (cur && cur.sites && cur.sites.length) {
+      tbody.innerHTML = "";
+      cur.sites.forEach(function (st) {
+        var tr = document.createElement("tr");
+        [st.label,
+         String(st.slow_entries || 0), String(st.cas_failures || 0),
+         fmtNs(st.park_ns || 0), fmtNs(st.delay_ns || 0)].forEach(function (v, i) {
+          var td = document.createElement("td");
+          if (i > 0) td.className = "num";
+          td.textContent = v;
+          tr.appendChild(td);
+        });
+        tbody.appendChild(tr);
+      });
+    } else if (cur) {
+      tbody.innerHTML = '<tr><td class="muted" colspan="5">no contended sites this window</td></tr>';
+    }
+    var list = document.getElementById("anomalies");
+    if (anomalies.length) {
+      list.innerHTML = "";
+      anomalies.slice(-20).reverse().forEach(function (a) {
+        var li = document.createElement("li");
+        var flag = document.createElement("span");
+        flag.className = "flag";
+        flag.textContent = "⚠ " + a.metric;
+        li.appendChild(flag);
+        var txt = " spiked to " + (a.metric === "cas_fail_ratio"
+          ? (100 * a.value).toFixed(1) + "%" : fmtNs(a.value)) +
+          " (baseline " + (a.metric === "cas_fail_ratio"
+          ? (100 * a.mean).toFixed(1) + "%" : fmtNs(a.mean)) +
+          ", " + a.score.toFixed(1) + "σ)" +
+          (a.sites && a.sites.length ? " at " + a.sites.join(", ") : "");
+        li.appendChild(document.createTextNode(txt));
+        var when = document.createElement("span");
+        when.className = "when";
+        when.textContent = " — t+" + (a.at_ns / 1e9).toFixed(1) + "s";
+        li.appendChild(when);
+        list.appendChild(li);
+      });
+    }
+  }
+
+  function push(s) {
+    samples.push(s);
+    if (samples.length > HISTORY) samples.shift();
+    if (s.anomalies) anomalies = anomalies.concat(s.anomalies);
+    render();
+  }
+  function setStatus(ok, text) {
+    statusEl.className = ok ? "sub" : "sub stale";
+    statusText.textContent = text;
+  }
+
+  // Seed history from the series endpoint, then follow the live stream.
+  fetch("/debug/lockscope/series?n=" + HISTORY)
+    .then(function (r) { return r.json(); })
+    .then(function (series) {
+      (series.samples || []).forEach(function (s) {
+        samples.push(s);
+        if (samples.length > HISTORY) samples.shift();
+      });
+      anomalies = series.anomalies || [];
+      render();
+    })
+    .catch(function () {});
+
+  var pollTimer = null;
+  function startPolling() {
+    if (pollTimer) return;
+    setStatus(false, "stream unavailable — polling every 2s");
+    pollTimer = setInterval(function () {
+      fetch("/debug/lockscope/series?n=1")
+        .then(function (r) { return r.json(); })
+        .then(function (series) {
+          var last = (series.samples || [])[series.samples.length - 1];
+          if (last && (!samples.length || last.index > samples[samples.length - 1].index)) push(last);
+        })
+        .catch(function () { setStatus(false, "scope unreachable"); });
+    }, 2000);
+  }
+
+  if (window.EventSource) {
+    var es = new EventSource("/debug/lockscope/stream");
+    es.addEventListener("sample", function (ev) {
+      setStatus(true, "live");
+      push(JSON.parse(ev.data));
+    });
+    es.onerror = function () { startPolling(); };
+  } else {
+    startPolling();
+  }
+})();
+</script>
+</body>
+</html>
+`

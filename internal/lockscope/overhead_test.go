@@ -1,0 +1,87 @@
+package lockscope_test
+
+// Overhead contract for the time-series sampler (see the lockscope
+// package comment): lockscope adds no hook to any lock path — the
+// sampler reads the sharded telemetry cells from its own goroutine —
+// so the lock fast and slow paths must stay allocation-free whether the
+// scope is disabled, enabled, or actively sampling. The disabled-path
+// cost of the package is the single atomic load in Enabled().
+
+import (
+	"testing"
+	"time"
+
+	"thinlock/internal/core"
+	"thinlock/internal/lockscope"
+	"thinlock/internal/object"
+	"thinlock/internal/telemetry"
+	"thinlock/internal/threading"
+)
+
+type lockFixture struct {
+	l  *core.ThinLocks
+	th *threading.Thread
+	o  *object.Object
+}
+
+func newLockFixture(t testing.TB) *lockFixture {
+	t.Helper()
+	f := &lockFixture{l: core.NewDefault()}
+	th, err := threading.NewRegistry().Attach("bench")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.th = th
+	f.o = object.NewHeap().New("Object")
+	return f
+}
+
+func cycles(t *testing.T, f *lockFixture, what string) {
+	t.Helper()
+	if allocs := testing.AllocsPerRun(100, func() {
+		f.l.Lock(f.th, f.o)
+		f.l.Unlock(f.th, f.o)
+	}); allocs != 0 {
+		t.Errorf("%s: fast path allocates %.1f objects per op", what, allocs)
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		f.l.Lock(f.th, f.o)
+		f.l.Lock(f.th, f.o)
+		f.l.Unlock(f.th, f.o)
+		f.l.Unlock(f.th, f.o)
+	}); allocs != 0 {
+		t.Errorf("%s: nested slow path allocates %.1f objects per op", what, allocs)
+	}
+}
+
+// Not parallel: owns the global scope and telemetry registrations.
+func TestDisabledScopeDoesNotAllocate(t *testing.T) {
+	lockscope.Disable()
+	telemetry.Disable()
+	f := newLockFixture(t)
+	cycles(t, f, "scope disabled")
+	if lockscope.Enabled() {
+		t.Fatal("scope unexpectedly enabled")
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		if lockscope.Enabled() {
+			t.Fatal("scope unexpectedly enabled")
+		}
+	}); allocs != 0 {
+		t.Errorf("Enabled() check allocates %.1f objects", allocs)
+	}
+}
+
+// Not parallel: owns the global scope and telemetry registrations. An
+// actively sampling scope must leave the lock paths allocation-free:
+// all its work happens on the sampler goroutine.
+func TestEnabledScopeKeepsLockPathsAllocationFree(t *testing.T) {
+	telemetry.Enable(telemetry.New())
+	defer telemetry.Disable()
+	sc := lockscope.Enable(lockscope.New(lockscope.Config{Interval: time.Millisecond}))
+	defer lockscope.Disable()
+	sc.Start()
+	defer sc.Stop()
+	f := newLockFixture(t)
+	cycles(t, f, "scope sampling")
+}

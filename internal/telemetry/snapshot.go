@@ -27,25 +27,40 @@ func (h HistSnapshot) Mean() float64 {
 	return float64(h.Sum) / float64(h.Count)
 }
 
-// Quantile returns an upper-bound estimate of the q-quantile (0 < q <= 1):
-// the upper bound of the first bucket whose cumulative count reaches
-// q*Count. Returns 0 with no observations.
+// Quantile estimates the q-quantile (0 < q <= 1) with within-bucket
+// linear interpolation: the target rank is located in the first bucket
+// whose cumulative count reaches it, and the estimate interpolates
+// between that bucket's lower and upper bound by the rank's position
+// inside the bucket. q=1 therefore returns the final occupied bucket's
+// upper bound, and a log2 bucket no longer overstates the quantile by
+// up to 2x the way the old upper-bound estimate did. The open-ended
+// last bucket has no upper bound to interpolate toward and reports its
+// lower bound. Returns 0 with no observations.
 func (h HistSnapshot) Quantile(q float64) uint64 {
 	if h.Count == 0 {
 		return 0
 	}
-	target := uint64(q * float64(h.Count))
-	if target == 0 {
+	target := q * float64(h.Count)
+	if target < 1 {
 		target = 1
 	}
 	var cum uint64
 	for b, n := range h.Buckets {
-		cum += n
-		if cum >= target {
-			return BucketUpperBound(b)
+		if n == 0 {
+			continue
 		}
+		if float64(cum+n) >= target {
+			lo := bucketLowerBound(b)
+			if b >= NumBuckets-1 {
+				return lo
+			}
+			hi := BucketUpperBound(b)
+			frac := (target - float64(cum)) / float64(n)
+			return lo + uint64(frac*float64(hi-lo)+0.5)
+		}
+		cum += n
 	}
-	return BucketUpperBound(NumBuckets - 1)
+	return bucketLowerBound(NumBuckets - 1)
 }
 
 // merge adds o into h.
@@ -274,7 +289,7 @@ func (s Snapshot) String() string {
 	sort.Strings(hnames)
 	for _, k := range hnames {
 		h := s.Histograms[k]
-		fmt.Fprintf(&b, "%-28s n=%d mean=%.0f p50<=%d p99<=%d\n",
+		fmt.Fprintf(&b, "%-28s n=%d mean=%.0f p50~%d p99~%d\n",
 			k, h.Count, h.Mean(), h.Quantile(0.5), h.Quantile(0.99))
 	}
 	if b.Len() == 0 {

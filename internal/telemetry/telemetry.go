@@ -190,6 +190,11 @@ const (
 	// HistEntryQueueDepth is the entry-queue depth observed each time a
 	// thread joined a monitor's entry queue.
 	HistEntryQueueDepth
+	// HistHoldNs is the measured lock hold time of sampled contended
+	// acquisitions (acquisition to the same thread's next slow-path
+	// unlock). It is fed by the lockprof hold measurement, so it only
+	// populates while the contention profiler is enabled.
+	HistHoldNs
 
 	// NumHistos is the number of defined histograms.
 	NumHistos
@@ -200,6 +205,7 @@ var histoNames = [NumHistos]string{
 	HistMonitorStallNs:  "monitor_stall_ns",
 	HistBiasHandshakeNs: "bias_handshake_ns",
 	HistEntryQueueDepth: "entry_queue_depth",
+	HistHoldNs:          "hold_ns",
 }
 
 // Name returns the histogram's stable metric name.
@@ -223,6 +229,18 @@ func BucketUpperBound(b int) uint64 {
 		return ^uint64(0)
 	}
 	return 1<<uint(b) - 1
+}
+
+// bucketLowerBound returns the inclusive lower bound of bucket b (the
+// interpolation anchor for Quantile).
+func bucketLowerBound(b int) uint64 {
+	if b <= 0 {
+		return 0
+	}
+	if b >= NumBuckets {
+		b = NumBuckets - 1
+	}
+	return 1 << uint(b-1)
 }
 
 // bucketOf maps an observation to its bucket index.

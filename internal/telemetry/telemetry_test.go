@@ -105,11 +105,15 @@ func TestHistQuantileAndMean(t *testing.T) {
 		m.Observe(nil, telemetry.HistMonitorStallNs, 1000) // bucket 10, le 1023
 	}
 	h := m.Snapshot().Histograms[telemetry.HistMonitorStallNs.Name()]
-	if got := h.Quantile(0.5); got != 15 {
-		t.Errorf("p50 = %d, want 15", got)
+	// Interpolated p50: rank 50 of 90 observations in bucket 4 ([8,15])
+	// lands at 8 + (50/90)*7 ≈ 11.9, not at the old upper bound 15.
+	if got := h.Quantile(0.5); got != 12 {
+		t.Errorf("p50 = %d, want 12", got)
 	}
-	if got := h.Quantile(0.99); got != 1023 {
-		t.Errorf("p99 = %d, want 1023", got)
+	// Interpolated p99: rank 99, 90 below bucket 10 ([512,1023]),
+	// 512 + (9/10)*511 ≈ 971.9.
+	if got := h.Quantile(0.99); got != 972 {
+		t.Errorf("p99 = %d, want 972", got)
 	}
 	want := (90*10.0 + 10*1000.0) / 100
 	if h.Mean() != want {
@@ -119,6 +123,70 @@ func TestHistQuantileAndMean(t *testing.T) {
 	if empty.Mean() != 0 || empty.Quantile(0.5) != 0 {
 		t.Error("empty histogram must report zeros")
 	}
+}
+
+// TestHistQuantileInterpolation pins the within-bucket interpolation
+// contract on the degenerate shapes: an empty histogram, every
+// observation in one bucket, the zero bucket, and a histogram saturated
+// into the open-ended last bucket.
+func TestHistQuantileInterpolation(t *testing.T) {
+	t.Parallel()
+
+	t.Run("empty", func(t *testing.T) {
+		var empty telemetry.HistSnapshot
+		for _, q := range []float64{0.01, 0.5, 0.99, 1} {
+			if got := empty.Quantile(q); got != 0 {
+				t.Errorf("empty Quantile(%v) = %d, want 0", q, got)
+			}
+		}
+	})
+
+	t.Run("single-bucket", func(t *testing.T) {
+		m := telemetry.New()
+		for i := 0; i < 4; i++ {
+			m.Observe(nil, telemetry.HistAcquireSlowNs, 10) // bucket 4: [8,15]
+		}
+		h := m.Snapshot().Histograms[telemetry.HistAcquireSlowNs.Name()]
+		// p50 interpolates halfway into [8,15]: 8 + 0.5*7 = 11.5 → 12.
+		if got := h.Quantile(0.5); got != 12 {
+			t.Errorf("single-bucket p50 = %d, want 12", got)
+		}
+		// q=1 must reach the bucket's upper bound exactly.
+		if got := h.Quantile(1); got != 15 {
+			t.Errorf("single-bucket p100 = %d, want 15", got)
+		}
+		// A tiny q still anchors at rank 1: 8 + (1/4)*7 = 9.75 → 10.
+		if got := h.Quantile(0.0001); got != 10 {
+			t.Errorf("single-bucket p0.01 = %d, want 10", got)
+		}
+	})
+
+	t.Run("zero-bucket", func(t *testing.T) {
+		m := telemetry.New()
+		m.Observe(nil, telemetry.HistAcquireSlowNs, 0)
+		h := m.Snapshot().Histograms[telemetry.HistAcquireSlowNs.Name()]
+		if got := h.Quantile(0.99); got != 0 {
+			t.Errorf("zero-bucket p99 = %d, want 0", got)
+		}
+	})
+
+	t.Run("saturated", func(t *testing.T) {
+		m := telemetry.New()
+		for i := 0; i < 3; i++ {
+			// Far beyond the last bounded bucket; lands in the
+			// open-ended bucket NumBuckets-1.
+			m.Observe(nil, telemetry.HistAcquireSlowNs, int64(1)<<60)
+		}
+		h := m.Snapshot().Histograms[telemetry.HistAcquireSlowNs.Name()]
+		// No upper bound to interpolate toward: report the bucket's
+		// lower bound 2^(NumBuckets-2) rather than MaxUint64.
+		wantLower := uint64(1) << uint(telemetry.NumBuckets-2)
+		for _, q := range []float64{0.5, 0.99, 1} {
+			if got := h.Quantile(q); got != wantLower {
+				t.Errorf("saturated Quantile(%v) = %d, want %d", q, got, wantLower)
+			}
+		}
+	})
 }
 
 func TestSnapshotMergeAndDelta(t *testing.T) {

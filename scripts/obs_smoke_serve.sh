@@ -9,7 +9,16 @@
 #   * /debug/lockprof/top must report at least two distinct lock sites
 #     (the bankmt acceptance shape: distinct transfer call sites);
 #   * /debug/pprof/lockcontention must be a profile that `go tool
-#     pprof -raw` accepts, with contentions/delay sample types.
+#     pprof -raw` accepts, with contentions/delay sample types;
+#   * /debug/lockscope/series must hold >= 2 windows with nonzero
+#     slow-path rate (the run is sampled live via -scope), in both JSON
+#     and CSV form;
+#   * /debug/lockscope/stream must answer text/event-stream and deliver
+#     >= 2 framed sample events;
+#   * /debug/lockscope/ must serve the self-contained HTML dashboard.
+#
+# It then runs cmd/macrobench -timeseries over bankmt and sessiond and
+# validates the per-workload phase timelines it writes.
 #
 # Usage: scripts/obs_smoke_serve.sh [outdir]   (default results/obs)
 set -eu
@@ -26,9 +35,12 @@ PROFILE="$OUT/lockcontention.pb.gz"
 BIN_DIR=$(mktemp -d)
 "$GO" build -o "$BIN_DIR/lockmon" ./cmd/lockmon
 
-# -repeat grows the sample population; -hold keeps the server up for
-# the scrapes below; -serve 127.0.0.1:0 picks a free port and prints it.
-"$BIN_DIR/lockmon" -workload bankmt -repeat 3 -serve 127.0.0.1:0 -hold 60s \
+# -repeat grows the sample population and stretches the run across many
+# 50ms lockscope windows; -scope samples it live; -hold keeps the server
+# up for the scrapes below; -serve 127.0.0.1:0 picks a free port and
+# prints it.
+"$BIN_DIR/lockmon" -workload bankmt -repeat 400 -scope -interval 50ms \
+    -serve 127.0.0.1:0 -hold 60s \
     >"$SRV_LOG" 2>&1 &
 SRV_PID=$!
 trap 'kill "$SRV_PID" 2>/dev/null || true; rm -rf "$BIN_DIR"' EXIT INT TERM
@@ -95,9 +107,83 @@ echo "$RAW" | grep -q 'contentions/count delay/nanoseconds' \
 echo "$RAW" | grep -q 'Samples' \
     || { echo "FAIL: pprof -raw has no samples section"; exit 1; }
 
+# /debug/lockscope/series: the acceptance shape — at least two sampled
+# windows whose slow-path rate is nonzero (the contended bankmt run
+# spans many 50ms windows).
+SERIES=$(fetch /debug/lockscope/series)
+if command -v python3 >/dev/null 2>&1; then
+    echo "$SERIES" | python3 -c '
+import json, sys
+v = json.load(sys.stdin)
+samples = v.get("samples") or []
+assert len(samples) >= 2, f"only {len(samples)} lockscope windows"
+busy = sum(1 for s in samples if s["slow_per_sec"] > 0)
+assert busy >= 2, f"only {busy} windows with nonzero slow-path rate"
+print(f"lockscope: {len(samples)} windows, {busy} with activity")
+'
+else
+    echo "$SERIES" | grep -q '"slow_per_sec"' \
+        || { echo "FAIL: /debug/lockscope/series has no samples"; exit 1; }
+fi
+
+# CSV form: the fixed header plus at least two data rows.
+CSV=$(fetch "/debug/lockscope/series?format=csv")
+echo "$CSV" | head -n 1 | grep -q '^index,at_ns,window_ns,slow_per_sec' \
+    || { echo "FAIL: lockscope CSV header wrong"; echo "$CSV" | head -n 1; exit 1; }
+CSV_ROWS=$(echo "$CSV" | wc -l)
+[ "$CSV_ROWS" -ge 3 ] || { echo "FAIL: lockscope CSV has $CSV_ROWS lines, want >= 3"; exit 1; }
+
+# /debug/lockscope/stream: server-sent events. The sampler keeps
+# ticking through -hold, so two seconds of listening must deliver
+# several framed samples; curl exits 28 when --max-time cuts the
+# (endless) stream, which is the expected way out.
+STREAM_CT=$(curl -s --max-time 2 -o "$OUT/stream.sse" -w '%{content_type}' \
+    "http://$ADDR/debug/lockscope/stream" || true)
+case "$STREAM_CT" in
+    text/event-stream*) ;;
+    *) echo "FAIL: stream Content-Type is '$STREAM_CT', want text/event-stream"; exit 1 ;;
+esac
+SSE_EVENTS=$(grep -c '^event: sample' "$OUT/stream.sse" || true)
+SSE_DATA=$(grep -c '^data: ' "$OUT/stream.sse" || true)
+[ "$SSE_EVENTS" -ge 2 ] && [ "$SSE_DATA" -ge 2 ] \
+    || { echo "FAIL: stream delivered $SSE_EVENTS sample events / $SSE_DATA data frames, want >= 2"; exit 1; }
+echo "lockscope stream: $SSE_EVENTS sample events in 2s"
+
+# /debug/lockscope/: the self-contained dashboard.
+fetch /debug/lockscope/ | grep -q '<!DOCTYPE html>' \
+    || { echo "FAIL: lockscope dashboard is not HTML"; exit 1; }
+
 kill "$SRV_PID" 2>/dev/null || true
 wait "$SRV_PID" 2>/dev/null || true
 trap - EXIT INT TERM
+
+# macrobench -timeseries: per-phase contention timelines for the two
+# concurrent acceptance workloads.
+"$GO" build -o "$BIN_DIR/macrobench" ./cmd/macrobench
+"$BIN_DIR/macrobench" -only bankmt,sessiond -samples 1 -scale 0.5 \
+    -timeseries -timeseries-interval 5ms -timeseries-dir "$OUT" \
+    >"$OUT/macrobench.log" 2>&1 \
+    || { echo "FAIL: macrobench -timeseries:"; cat "$OUT/macrobench.log"; exit 1; }
+for W in bankmt sessiond; do
+    TS="$OUT/timeseries_$W.json"
+    [ -f "$TS" ] || { echo "FAIL: $TS not written"; exit 1; }
+    if command -v python3 >/dev/null 2>&1; then
+        python3 -c '
+import json, sys
+path = sys.argv[1]
+v = json.load(open(path))
+phases = v["phases"]
+assert phases, f"{path}: no phases"
+total = sum(len(p["samples"] or []) for p in phases)
+assert total >= 2, f"{path}: only {total} samples across phases"
+impls = ", ".join(p["impl"] for p in phases)
+print(f"{path}: {len(phases)} phases ({impls}), {total} samples")
+' "$TS"
+    else
+        grep -q '"phases"' "$TS" || { echo "FAIL: $TS has no phases"; exit 1; }
+    fi
+done
+
 rm -rf "$BIN_DIR"
 
-echo "OK: obs serve smoke passed ($SITES sites, profile at $PROFILE)"
+echo "OK: obs serve smoke passed ($SITES sites, $SSE_EVENTS streamed samples, profile at $PROFILE)"
