@@ -80,7 +80,7 @@ deadlock-smoke: build
 # matching bench-diff threshold is loose for the same reason).
 bench-baseline: build
 	$(GO) run ./cmd/macrobench -json -json-dir results/baseline \
-		-scale 0.2 -samples 3 -only minibank,bankmt,sessiond
+		-scale 0.2 -samples 3 -only minibank,bankmt,sessiond,churn
 
 # bench-diff measures the baseline workloads (plus the newer dining and
 # abba workloads, which have no committed baseline and therefore come
@@ -92,7 +92,7 @@ bench-baseline: build
 bench-diff: build
 	mkdir -p results/head
 	$(GO) run ./cmd/macrobench -json -json-dir results/head \
-		-scale 0.2 -samples 3 -only minibank,bankmt,sessiond,dining,abba
+		-scale 0.2 -samples 3 -only minibank,bankmt,sessiond,churn,dining,abba
 	$(GO) run ./cmd/benchdiff -threshold 2.5 results/baseline results/head
 
 # fuzz-smoke gives each fuzzer a short budget on top of its seed

@@ -9,7 +9,8 @@
 //
 //	lockcheck [-impl all|name,name] [-threads N] [-objects N] [-ops N]
 //	          [-rounds N] [-seed N] [-timeout D]
-//	          [-mutate overflow|dropwake|biasdepth|biasdekker] [-explore]
+//	          [-mutate overflow|dropwake|biasdepth|biasdekker|deflate-epoch|deflate-queue]
+//	          [-explore]
 //
 // The implementation names accepted by -impl are exactly
 // check.ImplementationNames() — the -impl flag's help text lists them,
@@ -20,10 +21,13 @@
 // lock-word state machine for every implementation variant.
 //
 // -mutate seeds a known protocol bug — into a thin-lock instance
-// (overflow, dropwake) or a biased-locking instance (biasdepth,
-// biasdekker) — and checks that instead, demonstrating (in a few
+// (overflow, dropwake), a biased-locking instance (biasdepth,
+// biasdekker) or a compact-monitor instance (deflate-epoch,
+// deflate-queue) — and checks that instead, demonstrating (in a few
 // seconds) that the checker actually detects broken lock protocols;
-// these runs are expected to FAIL.
+// these runs are expected to FAIL. The deflate mutations first run the
+// hand-written deflation corpus (check.DeflationCorpus), which exposes
+// both deterministically at schedule seed 0.
 package main
 
 import (
@@ -49,7 +53,7 @@ func main() {
 	rounds := flag.Int("rounds", 20, "programs to generate per implementation")
 	seed := flag.Int64("seed", 1, "base seed for program generation and schedule jitter")
 	timeout := flag.Duration("timeout", 20*time.Second, "per-run watchdog bound")
-	mutate := flag.String("mutate", "", "seed a known bug and check it: overflow | dropwake | biasdepth | biasdekker")
+	mutate := flag.String("mutate", "", "seed a known bug and check it: overflow | dropwake | biasdepth | biasdekker | deflate-epoch | deflate-queue")
 	explore := flag.Bool("explore", false, "exhaustively model check all interleavings of tiny programs")
 	flag.Parse()
 
@@ -81,9 +85,25 @@ func main() {
 		os.Exit(2)
 	}
 
+	// The deflation mutations break protocol steps that random programs
+	// only trip over occasionally; the hand-written deflation corpus
+	// exposes them deterministically, so those runs check it first.
+	corpusFirst := *mutate == "deflate-epoch" || *mutate == "deflate-queue"
+
 	failed := false
 	for _, name := range sortedNames(impls) {
 		mk := impls[name]
+		if corpusFirst {
+			fmt.Printf("%-18s deflation corpus (%d programs × %d schedule seeds) ... ",
+				name, len(check.DeflationCorpus()), corpusSeeds)
+			if bad := checkCorpus(mk, *timeout); bad != nil {
+				failed = true
+				fmt.Println("FAIL")
+				fmt.Print(bad)
+				continue // the corpus verdict stands; skip the random rounds
+			}
+			fmt.Println("ok")
+		}
 		fmt.Printf("%-18s %d rounds × %d threads × %d objects × %d ops ... ",
 			name, *rounds, *threads, *objects, *ops)
 		if bad := checkImpl(mk, *threads, *objects, *ops, *rounds, *seed, *timeout); bad != nil {
@@ -97,6 +117,38 @@ func main() {
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// corpusSeeds is how many schedule seeds each deflation corpus program
+// runs under; the seeded deflation mutations fall to seed 0.
+const corpusSeeds = 4
+
+// checkCorpus runs the hand-written deflation corpus against one
+// implementation and returns a report (nil when clean). The corpus
+// programs are already minimal, so failures are reported as-is without
+// delta debugging — which also keeps mutation runs fast when the
+// failure kind is a stuck schedule (each stuck probe costs a full
+// watchdog timeout).
+func checkCorpus(mk func() lockapi.Locker, timeout time.Duration) error {
+	for _, tc := range check.DeflationCorpus() {
+		for seed := int64(0); seed < corpusSeeds; seed++ {
+			cfg := check.DeflationCorpusConfig(seed, timeout)
+			fs := check.CheckProgram(mk, tc.P, cfg)
+			if len(fs) == 0 {
+				continue
+			}
+			var b strings.Builder
+			fmt.Fprintf(&b, "  corpus program %q (schedule seed %d):\n", tc.Name, seed)
+			for _, f := range fs {
+				fmt.Fprintf(&b, "    %v\n", f)
+			}
+			for _, line := range strings.Split(strings.TrimRight(tc.P.String(), "\n"), "\n") {
+				fmt.Fprintf(&b, "    %s\n", line)
+			}
+			return fmt.Errorf("%s", b.String())
+		}
+	}
+	return nil
 }
 
 // checkImpl runs the configured rounds against one implementation and
@@ -167,8 +219,26 @@ func selectImpls(names, mutate string) (map[string]func() lockapi.Locker, error)
 				})
 			},
 		}, nil
+	case "deflate-epoch":
+		return map[string]func() lockapi.Locker{
+			"ThinLock-mut-epoch": func() lockapi.Locker {
+				return core.New(core.Options{
+					RecycleMonitors: true,
+					TestMutations:   core.Mutations{DeflateEpochSkip: true},
+				})
+			},
+		}, nil
+	case "deflate-queue":
+		return map[string]func() lockapi.Locker{
+			"ThinLock-mut-queue": func() lockapi.Locker {
+				return core.New(core.Options{
+					RecycleMonitors: true,
+					TestMutations:   core.Mutations{DeflateQueueIgnore: true},
+				})
+			},
+		}, nil
 	default:
-		return nil, fmt.Errorf("unknown -mutate %q (want overflow, dropwake, biasdepth or biasdekker)", mutate)
+		return nil, fmt.Errorf("unknown -mutate %q (want overflow, dropwake, biasdepth, biasdekker, deflate-epoch or deflate-queue)", mutate)
 	}
 
 	all := check.Implementations()

@@ -19,14 +19,16 @@ type Factory struct {
 
 // StandardImpls returns the implementations compared throughout the
 // paper's evaluation (Figures 4 and 5) — ThinLock, IBM112 and JDK111 —
-// plus the biased-reservation follow-on design. Biased is appended
-// last: reports and tests index the paper's trio by position.
+// plus the biased-reservation and compact-monitor follow-on designs.
+// The extensions are appended after the paper's trio: reports and tests
+// index the trio by position.
 func StandardImpls() []Factory {
 	return []Factory{
 		{Name: "ThinLock", New: func() lockapi.Locker { return core.NewDefault() }},
 		{Name: "IBM112", New: func() lockapi.Locker { return hotlocks.NewDefault() }},
 		{Name: "JDK111", New: func() lockapi.Locker { return monitorcache.NewDefault() }},
 		{Name: "Biased", New: func() lockapi.Locker { return biased.NewDefault() }},
+		{Name: "ThinLock-compact", New: func() lockapi.Locker { return core.New(core.Options{RecycleMonitors: true}) }},
 	}
 }
 

@@ -1,0 +1,109 @@
+package check
+
+// The deflation corpus: hand-written schedules aimed at the monitor
+// lifecycle of the compact extension. A deflating final unlock races a
+// contender's enter; the stale-index window between a fat header load
+// and the monitor-table lookup overlaps the index being freed and
+// reused by a second object; waiters pin their monitor; recursive holds
+// veto deflation. The generated-program stress (Generate) finds these
+// shapes eventually; the corpus makes every run hit them, which is why
+// both the certification tests and `lockcheck -mutate deflate-*` start
+// here.
+//
+// Corpus programs lean on timed waits and work ops to open the races,
+// so they should run with a short WaitTimeout (~2ms) and WorkDuration
+// (~1ms) — see DeflationCorpusConfig.
+
+import "time"
+
+// NamedProgram pairs a checker program with the hazard it targets.
+type NamedProgram struct {
+	Name string
+	P    Program
+}
+
+// DeflationCorpusConfig is the Config the deflation corpus is tuned
+// for: waits short enough that inflate→deflate cycles churn quickly,
+// work ops long enough that a holder dwells while contenders arrive.
+func DeflationCorpusConfig(schedule int64, timeout time.Duration) Config {
+	return Config{
+		Schedule:     schedule,
+		Timeout:      timeout,
+		WaitTimeout:  2 * time.Millisecond,
+		WorkDuration: time.Millisecond,
+	}
+}
+
+// DeflationCorpus returns the deflation-race programs. Every correct
+// implementation must pass all of them under every schedule seed;
+// non-deflating implementations pass trivially.
+func DeflationCorpus() []NamedProgram {
+	return []NamedProgram{
+		{
+			// Wait-driven inflate/deflate cycles on one object while two
+			// threads hammer plain lock/unlock: every final unlock is a
+			// deflation candidate racing an enter.
+			Name: "deflate-vs-enter",
+			P: Program{Objects: 1, Threads: [][]Op{
+				{{OpLock, 0}, {OpWait, 0}, {OpUnlock, 0}, {OpLock, 0}, {OpWait, 0}, {OpUnlock, 0}, {OpLock, 0}, {OpWait, 0}, {OpUnlock, 0}},
+				{{OpLock, 0}, {OpUnlock, 0}, {OpLock, 0}, {OpUnlock, 0}, {OpLock, 0}, {OpUnlock, 0}, {OpLock, 0}, {OpUnlock, 0}},
+				{{Kind: OpWork}, {OpLock, 0}, {Kind: OpWork}, {OpUnlock, 0}, {OpLock, 0}, {OpUnlock, 0}},
+			}},
+		},
+		{
+			// The churner deflates object 0 and immediately re-inflates
+			// object 1 (reusing the freed index), while dedicated threads
+			// hammer each object: a stale index in flight must never
+			// resolve to the other object's monitor.
+			Name: "reinflate-stale-index",
+			P: Program{Objects: 2, Threads: [][]Op{
+				{{OpLock, 0}, {OpWait, 0}, {OpUnlock, 0}, {OpLock, 1}, {OpWait, 1}, {OpUnlock, 1}, {OpLock, 0}, {OpWait, 0}, {OpUnlock, 0}, {OpLock, 1}, {OpWait, 1}, {OpUnlock, 1}},
+				{{OpLock, 0}, {Kind: OpWork}, {OpUnlock, 0}, {OpLock, 0}, {OpUnlock, 0}, {OpLock, 0}, {OpUnlock, 0}},
+				{{OpLock, 1}, {Kind: OpWork}, {OpUnlock, 1}, {OpLock, 1}, {OpUnlock, 1}, {OpLock, 1}, {OpUnlock, 1}},
+			}},
+		},
+		{
+			// A heavier cut of the same hazard: four inflate/deflate
+			// cycles ping-ponging one table index between two objects
+			// while two threads keep re-entering object 0's fat path, so
+			// a lookup that dwells on a stale header value lands on the
+			// freed-and-reused index. This is the program that kills the
+			// DeflateEpochSkip mutation deterministically.
+			Name: "stale-index-dwell",
+			P:    staleIndexDwell(),
+		},
+		{
+			// A notifier races the waiter's deflating final unlock: the
+			// wait set must pin the monitor until the handoff completes.
+			Name: "notify-vs-deflate",
+			P: Program{Objects: 1, Threads: [][]Op{
+				{{OpLock, 0}, {OpWait, 0}, {OpUnlock, 0}, {OpLock, 0}, {OpUnlock, 0}},
+				{{OpLock, 0}, {OpNotify, 0}, {OpUnlock, 0}, {OpLock, 0}, {OpNotifyAll, 0}, {OpUnlock, 0}},
+			}},
+		},
+		{
+			// Deep recursion inflated mid-hold (the wait at depth 3): the
+			// intermediate fat unlocks must not deflate while count > 0,
+			// and the final one must, cleanly, under contention.
+			Name: "no-deflate-while-nested",
+			P: Program{Objects: 1, Threads: [][]Op{
+				{{OpLock, 0}, {OpLock, 0}, {OpLock, 0}, {OpWait, 0}, {OpUnlock, 0}, {Kind: OpWork}, {OpUnlock, 0}, {OpUnlock, 0}, {OpLock, 0}, {OpUnlock, 0}},
+				{{Kind: OpWork}, {OpLock, 0}, {OpUnlock, 0}, {OpLock, 0}, {OpUnlock, 0}},
+			}},
+		},
+	}
+}
+
+func staleIndexDwell() Program {
+	var churn []Op
+	for i := 0; i < 4; i++ {
+		churn = append(churn,
+			Op{OpLock, 0}, Op{OpWait, 0}, Op{OpUnlock, 0},
+			Op{OpLock, 1}, Op{OpWait, 1}, Op{OpUnlock, 1})
+	}
+	var hammer []Op
+	for i := 0; i < 6; i++ {
+		hammer = append(hammer, Op{OpLock, 0}, Op{Kind: OpWork}, Op{OpUnlock, 0})
+	}
+	return Program{Objects: 2, Threads: [][]Op{churn, hammer, hammer}}
+}

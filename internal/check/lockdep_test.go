@@ -4,8 +4,13 @@ import (
 	"math/rand"
 	"testing"
 
+	"thinlock/internal/core"
+	"thinlock/internal/jcl"
 	"thinlock/internal/lockapi/conformance"
 	"thinlock/internal/lockdep"
+	"thinlock/internal/object"
+	"thinlock/internal/threading"
+	"thinlock/internal/workloads"
 )
 
 // TestLockdepHasNoFalsePositives is the watchdog's soundness gate: with
@@ -60,6 +65,32 @@ func TestLockdepHasNoFalsePositives(t *testing.T) {
 					}
 				}
 			})
+		}
+	})
+
+	// The churn workload drives the compact extension's whole monitor
+	// lifecycle — inflation, deflation, index recycling — under lockdep;
+	// its per-generation barriers are deadlock-free by construction, so
+	// any inversion or cycle reported here is a false positive from
+	// lockdep confusing a recycled monitor index with its previous
+	// object.
+	t.Run("workload", func(t *testing.T) {
+		w, ok := workloads.ByName("churn")
+		if !ok {
+			t.Fatal("churn workload not registered")
+		}
+		l := core.New(core.Options{RecycleMonitors: true})
+		ctx := jcl.NewContext(l, object.NewHeap())
+		reg := threading.NewRegistry()
+		th, err := reg.Attach("lockdep-churn")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sum := w.Run(ctx, th, 4); sum == 0 {
+			t.Fatal("churn checksum is zero; workload may be degenerate")
+		}
+		if l.Stats().MonitorRecycles == 0 {
+			t.Fatal("churn recycled no monitor index; the lifecycle was not exercised")
 		}
 	})
 

@@ -8,7 +8,7 @@ package core
 // `lockcheck -mutate` demonstration flag — and the zero value disables
 // all of them.
 //
-// The two mutations target the two classic failure classes of lock-word
+// The mutations target the classic failure classes of lock-word
 // protocols:
 //
 //   - OverflowOffByOne plants an off-by-one in the nested-count overflow
@@ -25,6 +25,23 @@ package core
 //     that parked on the flat-lock-contention queue is never woken: a
 //     lost wakeup that leaves the schedule permanently stuck.
 //
+//   - DeflateEpochSkip breaks the compact-monitor grace period: a
+//     deflated monitor's index goes straight to the free list
+//     (Table.FreeSkippingGrace) and the fat-lock lookup dereferences
+//     the header's index without pinning or re-reading (dwelling in the
+//     window so the race is schedulable). A reader holding a stale
+//     index can then resolve it to a different object's freshly
+//     inflated monitor and enter the wrong critical section — the
+//     use-after-free class of bug quiescence-based reclamation exists
+//     to prevent. Surfaces as a mutual-exclusion violation or outcome
+//     divergence.
+//
+//   - DeflateQueueIgnore retires a monitor without checking that its
+//     entry queue is empty (Monitor.RetireDroppingQueue): a contender
+//     already queued for the handoff is abandoned and sleeps forever —
+//     the deflation analogue of a lost wakeup, surfacing as a stuck
+//     schedule.
+//
 // (The paper's `sync` barrier in the MPSync unlock path cannot serve as
 // a mutation here: arch.Sync models only the instruction's cost, because
 // Go's sequentially consistent atomics already provide the ordering, so
@@ -37,9 +54,17 @@ type Mutations struct {
 	// DropQueuedWake skips maybeWakeQueued after thin-lock releases,
 	// losing the wakeup the queued-inflation protocol depends on.
 	DropQueuedWake bool
+
+	// DeflateEpochSkip recycles deflated monitor indices without the
+	// grace period and looks indices up without the reader pin.
+	DeflateEpochSkip bool
+
+	// DeflateQueueIgnore deflates monitors without checking the entry
+	// queue, stranding queued contenders.
+	DeflateQueueIgnore bool
 }
 
 // Enabled reports whether any mutation is switched on.
 func (m Mutations) Enabled() bool {
-	return m.OverflowOffByOne || m.DropQueuedWake
+	return m.OverflowOffByOne || m.DropQueuedWake || m.DeflateEpochSkip || m.DeflateQueueIgnore
 }

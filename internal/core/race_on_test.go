@@ -1,0 +1,7 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether the race detector instruments this build;
+// the churn bound test scales its cycle count down under its overhead.
+const raceEnabled = true

@@ -85,6 +85,15 @@ type Options struct {
 	// a fat lock whose queues are empty is turned back into a thin
 	// lock on final unlock.
 	EnableDeflation bool
+	// RecycleMonitors turns on the compact-monitor extension (after
+	// Dice & Kogan's Compact Java Monitors; implies EnableDeflation):
+	// a deflated monitor's table index is retired through a grace
+	// period and then reused by later inflations, so the monitor
+	// table's footprint tracks the peak number of simultaneously
+	// inflated objects instead of growing monotonically with every
+	// inflation. Readers of possibly-stale monitor indices pin the
+	// table around the header reload (see monitor.Table).
+	RecycleMonitors bool
 	// QueuedInflation turns on the queued-contention extension (the
 	// Tasuki-lock protocol; see queued.go): contenders park on a
 	// contention queue instead of spinning, signalled by a flat-lock-
@@ -129,6 +138,19 @@ type Stats struct {
 	FLCWakeups uint64
 	// FatLocks is the number of monitors ever allocated.
 	FatLocks int
+	// MonitorFrees counts monitor indices returned to the recycler
+	// (always 0 unless monitor recycling is enabled).
+	MonitorFrees uint64
+	// MonitorRecycles counts inflations that reused a recycled index.
+	MonitorRecycles uint64
+	// LiveMonitors is the number of monitors currently bound to an
+	// object (FatLocks minus MonitorFrees).
+	LiveMonitors int
+	// TableSpan is the size of the monitor index space in use — the
+	// table's memory footprint. With recycling it tracks the peak
+	// number of simultaneously inflated objects; without, it equals
+	// FatLocks.
+	TableSpan int
 }
 
 // Inflations returns the total number of inflations for any cause.
@@ -144,6 +166,7 @@ type ThinLocks struct {
 	variant   Variant
 	cpu       arch.CPU
 	deflation bool
+	recycle   bool
 	queued    bool
 	flc       *flcTable
 	mut       Mutations
@@ -158,6 +181,7 @@ type ThinLocks struct {
 	spinAcq        atomic.Uint64
 	spinRounds     atomic.Uint64
 	deflations     atomic.Uint64
+	recycles       atomic.Uint64
 	queuedParks    atomic.Uint64
 	flcWakeups     atomic.Uint64
 }
@@ -173,7 +197,8 @@ func New(opts Options) *ThinLocks {
 		table:       monitor.NewTable(),
 		variant:     opts.Variant,
 		cpu:         opts.CPU,
-		deflation:   opts.EnableDeflation,
+		deflation:   opts.EnableDeflation || opts.RecycleMonitors,
+		recycle:     opts.RecycleMonitors,
 		queued:      opts.QueuedInflation,
 		mut:         opts.TestMutations,
 		nestedLimit: maxCount << CountShift,
@@ -212,6 +237,10 @@ func (l *ThinLocks) Stats() Stats {
 		QueuedParks:          l.queuedParks.Load(),
 		FLCWakeups:           l.flcWakeups.Load(),
 		FatLocks:             l.table.Len(),
+		MonitorFrees:         l.table.Freed(),
+		MonitorRecycles:      l.recycles.Load(),
+		LiveMonitors:         l.table.Live(),
+		TableSpan:            l.table.Span(),
 	}
 }
 
@@ -331,7 +360,18 @@ func (l *ThinLocks) lockSlowBody(t *threading.Thread, o *object.Object, cpu arch
 
 		case IsInflated(w):
 			lockdep.Blocked(t, o, lockdep.WaitFat)
-			m := l.table.Get(FatIndex(w))
+			var m *monitor.Monitor
+			if l.recycle {
+				// With index recycling the index in w may already have
+				// been handed to a different object's monitor; re-read
+				// the header under a table pin so the recycler cannot
+				// reuse the index inside our lookup window.
+				if m = l.pinnedFat(hp, t); m == nil {
+					continue // deflated between loads; retry the header
+				}
+			} else {
+				m = l.table.Get(FatIndex(w))
+			}
 			if l.enterFat(m, t) {
 				if fence {
 					arch.ISync()
@@ -397,6 +437,45 @@ func (l *ThinLocks) lockSlowBody(t *threading.Thread, o *object.Object, cpu arch
 	}
 }
 
+// pinnedFat resolves the object header at hp to its fat monitor under a
+// table reader pin: the pin is published first, the header is re-read,
+// and only then is the index dereferenced, so a concurrent deflation
+// cannot recycle the index between the load and the Get (monitor.Table's
+// grace period holds it back until we unpin). Returns nil if the header
+// is no longer inflated. The monitor pointer stays valid after unpinning
+// — monitor structs are never reused, so the worst a latecomer sees is a
+// permanently retired monitor, answered by EnterIfActive.
+//
+// Exit/Wait/Notify need no pin: they are owner-validated. If the caller
+// owns the fat lock the index binding cannot change (only the owner can
+// retire it), and if it does not, any monitor the stale index resolves
+// to is one the caller cannot own (a fresh monitor's owner is seeded as
+// its inflater and changes only by queue handoff), so the operation
+// fails with ErrIllegalMonitorState exactly as it must.
+func (l *ThinLocks) pinnedFat(hp *uint32, t *threading.Thread) *monitor.Monitor {
+	if l.mut.DeflateEpochSkip {
+		// Seeded bug: dereference the possibly-stale index with no pin
+		// and no header re-read, dwelling in the window to make the
+		// recycle race schedulable (the sleep is a legal schedule; only
+		// the missing grace protection is the bug).
+		w := atomic.LoadUint32(hp)
+		time.Sleep(200 * time.Microsecond)
+		if !IsInflated(w) {
+			return nil
+		}
+		return l.table.Get(FatIndex(w))
+	}
+	token := l.table.Pin(t.Index())
+	w := atomic.LoadUint32(hp)
+	if !IsInflated(w) {
+		l.table.Unpin(token)
+		return nil
+	}
+	m := l.table.Get(FatIndex(w))
+	l.table.Unpin(token)
+	return m
+}
+
 // enterFat enters a fat lock, honoring the deflation extension: it
 // reports false if the monitor was retired, in which case the caller
 // must re-read the object header.
@@ -414,6 +493,10 @@ func (l *ThinLocks) enterFat(m *monitor.Monitor, t *threading.Thread) bool {
 // exclusive write access to the lock word.
 func (l *ThinLocks) inflate(t *threading.Thread, o *object.Object, locks uint32) *monitor.Monitor {
 	m := l.table.Allocate()
+	if m.RecycledIndex() {
+		l.recycles.Add(1)
+		telemetry.Inc(t, telemetry.CtrMonitorRecycles)
+	}
 	m.SeedOwner(t, locks)
 	o.SetHeader(InflatedWord(m.Index(), o.Header()))
 	if l.queued {
@@ -540,8 +623,12 @@ func (l *ThinLocks) unlockSlow(t *threading.Thread, o *object.Object, fence, use
 		return nil
 	}
 	if IsInflated(w) {
+		// No pin needed here: if this thread owns the fat lock the
+		// binding is stable (only the owner can retire it), and if it
+		// does not, the retire/exit below fail with the right error —
+		// see pinnedFat.
 		m := l.table.Get(FatIndex(w))
-		if l.deflation && m.Retire(t) {
+		if l.deflation && l.retireFat(m, t) {
 			// Deflation extension: the fat lock was held exactly once
 			// with empty queues; retire it and restore a thin,
 			// unlocked header. Latecomers holding the stale monitor
@@ -549,16 +636,47 @@ func (l *ThinLocks) unlockSlow(t *threading.Thread, o *object.Object, fence, use
 			// header.
 			l.deflations.Add(1)
 			telemetry.Inc(t, telemetry.CtrDeflations)
+			lockprof.Deflation(t, o)
 			if fence {
 				arch.Sync()
 			}
 			atomic.StoreUint32(hp, w&MiscMask)
+			if l.recycle {
+				// Recycle the index only after the header restore: the
+				// grace stamp taken inside Free must postdate the last
+				// moment a reader could have found the index through
+				// this object.
+				l.freeIndex(t, m)
+			}
 			return nil
 		}
 		return m.Exit(t)
 	}
 	// Thin but owned by another thread (or unlocked).
 	return ErrIllegalMonitorState
+}
+
+// retireFat retires a quiescent fat lock, honoring the seeded
+// deflate-queue mutation (which skips the entry-queue emptiness check,
+// stranding queued contenders — see core.Mutations).
+func (l *ThinLocks) retireFat(m *monitor.Monitor, t *threading.Thread) bool {
+	if l.mut.DeflateQueueIgnore {
+		return m.RetireDroppingQueue(t)
+	}
+	return m.Retire(t)
+}
+
+// freeIndex returns a retired monitor's index to the table's recycler,
+// honoring the seeded deflate-epoch mutation (which skips the grace
+// period, recreating the stale-index reuse race the epoch scheme
+// prevents).
+func (l *ThinLocks) freeIndex(t *threading.Thread, m *monitor.Monitor) {
+	if l.mut.DeflateEpochSkip {
+		l.table.FreeSkippingGrace(m)
+	} else {
+		l.table.Free(m)
+	}
+	telemetry.Inc(t, telemetry.CtrMonitorFrees)
 }
 
 // Wait implements lockapi.Locker. Waiting requires queues, so a

@@ -70,6 +70,10 @@ func Run(t *testing.T, mk func() lockapi.Locker) {
 		{"WaitAfterRepeatOwnership", testWaitAfterRepeatOwnership},
 		{"InterruptDuringOwnershipTransfer", testInterruptDuringOwnershipTransfer},
 		{"ContendedDeepNesting", testContendedDeepNesting},
+		{"DeflateEnterRace", testDeflateEnterRace},
+		{"DeflateVsWaiterPinsMonitor", testDeflateVsWait},
+		{"ReinflateAfterDeflate", testReinflateAfterDeflate},
+		{"NoDeflateWhileNested", testNoDeflateWhileNested},
 	} {
 		tc := tc
 		t.Run(tc.name, func(t *testing.T) {

@@ -256,6 +256,33 @@ func (p *Profiler) Revocation(t *threading.Thread, o *object.Object, cause Infla
 	}
 }
 
+// Deflation records a deflation of o: the final unlock found the fat
+// monitor quiescent and turned it back into a thin lock. Deflations are
+// rare protocol transitions like inflations and are recorded
+// unconditionally; the acting thread is the releasing owner, so the
+// captured site is where the lock went quiescent.
+func (p *Profiler) Deflation(t *threading.Thread, o *object.Object) {
+	site := p.slot(t).site.Load()
+	if site == nil {
+		var k SiteKey
+		if t != nil {
+			if method, pc, ok := t.Frame(); ok {
+				k.VMMethod, k.VMPC = method, pc
+			}
+		}
+		if !k.IsVM() {
+			captureGoSite(&k, 1)
+		}
+		site = p.sites.get(k)
+	}
+	if site != nil {
+		site.Deflations.Add(1)
+	}
+	if obj := p.objs.get(o.ID(), o.Class()); obj != nil {
+		obj.Deflations.Add(1)
+	}
+}
+
 // UnlockSlow is called from slow-path unlocks. If the thread's held
 // sample matches o, the hold time (acquisition to this unlock) is
 // charged to the sampled records and the held state cleared. Inflated
@@ -332,6 +359,14 @@ func Inflation(t *threading.Thread, o *object.Object, cause InflationCause) {
 func Revocation(t *threading.Thread, o *object.Object, cause InflationCause) {
 	if p := active.Load(); p != nil {
 		p.Revocation(t, o, cause)
+	}
+}
+
+// Deflation records a deflation on the installed Profiler; no-op when
+// disabled.
+func Deflation(t *threading.Thread, o *object.Object) {
+	if p := active.Load(); p != nil {
+		p.Deflation(t, o)
 	}
 }
 

@@ -74,6 +74,11 @@ type Monitor struct {
 	index   uint32  // index in the owning Table (0 if table-less)
 	retired bool    // set by Retire; the monitor no longer guards its object
 
+	// recycledIdx records that the Table served this monitor's index
+	// from a free list rather than extending the index space. Set once
+	// at allocation, read-only afterwards.
+	recycledIdx bool
+
 	contended atomic.Uint64 // entries that had to queue
 	waitCount atomic.Uint64 // Wait calls
 	notifies  atomic.Uint64 // Notify + NotifyAll calls
@@ -140,6 +145,28 @@ func (m *Monitor) Retire(t *threading.Thread) bool {
 	telemetry.Inc(t, telemetry.CtrMonitorRetirements)
 	return true
 }
+
+// RetireDroppingQueue is Retire with the entry-queue emptiness check
+// removed: a queued contender's node is abandoned, its handoff never
+// arrives, and the thread sleeps forever. It exists only as the seeded
+// deflate-queue mutation (see core.Mutations), so the differential
+// checker can prove it detects a deflation that strands contenders.
+func (m *Monitor) RetireDroppingQueue(t *threading.Thread) bool {
+	m.latch.Lock()
+	defer m.latch.Unlock()
+	if m.owner != t || m.count != 1 || len(m.waits) > 0 {
+		return false
+	}
+	m.owner = nil
+	m.count = 0
+	m.retired = true
+	telemetry.Inc(t, telemetry.CtrMonitorRetirements)
+	return true
+}
+
+// RecycledIndex reports whether this monitor's index was served from the
+// table's free list (i.e. a previous monitor was deflated out of it).
+func (m *Monitor) RecycledIndex() bool { return m.recycledIdx }
 
 // Retired reports whether the monitor has been deflated away.
 func (m *Monitor) Retired() bool {

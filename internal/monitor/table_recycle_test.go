@@ -1,0 +1,214 @@
+package monitor
+
+import (
+	"sync"
+	"testing"
+
+	"thinlock/internal/threading"
+)
+
+// retireAndFree walks one monitor through the deflation lifecycle so the
+// table tests can exercise Free without the core package: seed an owner,
+// retire, return the index.
+func retireAndFree(t *testing.T, tb *Table, m *Monitor, th *threading.Thread) {
+	t.Helper()
+	m.SeedOwner(th, 1)
+	if !m.Retire(th) {
+		t.Fatalf("Retire of quiescent owned monitor failed: %v", m)
+	}
+	tb.Free(m)
+}
+
+func testThread(t *testing.T, reg *threading.Registry, name string) *threading.Thread {
+	t.Helper()
+	th, err := reg.Attach(name)
+	if err != nil {
+		t.Fatalf("attach %s: %v", name, err)
+	}
+	return th
+}
+
+// TestFreeRecyclesIndex: with no readers pinned, a freed index must be
+// reused by the next allocation, Len must stay cumulative, and Span must
+// not grow.
+func TestFreeRecyclesIndex(t *testing.T) {
+	tb := NewTable()
+	th := testThread(t, threading.NewRegistry(), "a")
+
+	m := tb.Allocate()
+	idx := m.Index()
+	retireAndFree(t, tb, m, th)
+
+	m2 := tb.Allocate()
+	if m2.Index() != idx {
+		t.Fatalf("recycled allocation got index %d, want %d", m2.Index(), idx)
+	}
+	if !m2.RecycledIndex() {
+		t.Fatal("recycled allocation not marked as recycled")
+	}
+	if m2 == m {
+		t.Fatal("monitor struct was reused; recycled indices must get fresh monitors")
+	}
+	if m2.Retired() {
+		t.Fatal("fresh monitor on recycled index is retired")
+	}
+	if got, want := tb.Len(), 2; got != want {
+		t.Errorf("Len = %d, want %d (cumulative)", got, want)
+	}
+	if got, want := tb.Span(), 1; got != want {
+		t.Errorf("Span = %d, want %d (index space must not grow)", got, want)
+	}
+	if got := tb.Recycled(); got != 1 {
+		t.Errorf("Recycled = %d, want 1", got)
+	}
+	if got := tb.Live(); got != 1 {
+		t.Errorf("Live = %d, want 1", got)
+	}
+	// The stale pointer still resolves to the retired monitor semantics:
+	// the old struct stays retired forever.
+	if !m.Retired() {
+		t.Error("old monitor lost its retired mark after recycle")
+	}
+}
+
+// TestPinHoldsBackReclaim: an index freed while a reader is pinned below
+// the free's stamp must not be reused until the reader unpins.
+func TestPinHoldsBackReclaim(t *testing.T) {
+	tb := NewTable()
+	reg := threading.NewRegistry()
+	th := testThread(t, reg, "a")
+	reader := testThread(t, reg, "r")
+
+	// Reader opens its window before the deflation.
+	token := tb.Pin(reader.Index())
+
+	m := tb.Allocate()
+	idx := m.Index()
+	retireAndFree(t, tb, m, th)
+
+	m2 := tb.Allocate()
+	if m2.Index() == idx {
+		t.Fatalf("index %d reused while a reader pin predating the free is live", idx)
+	}
+	if got, want := tb.Span(), 2; got != want {
+		t.Errorf("Span = %d, want %d (allocation must extend, not reuse)", got, want)
+	}
+
+	tb.Unpin(token)
+	m3 := tb.Allocate()
+	if m3.Index() != idx {
+		t.Fatalf("after unpin, allocation got index %d, want recycled %d", m3.Index(), idx)
+	}
+}
+
+// TestLatePinDoesNotBlockReclaim: a reader that pins after the free's
+// stamp cannot be holding the freed index, so it must not stall reuse.
+func TestLatePinDoesNotBlockReclaim(t *testing.T) {
+	tb := NewTable()
+	reg := threading.NewRegistry()
+	th := testThread(t, reg, "a")
+	reader := testThread(t, reg, "r")
+
+	m := tb.Allocate()
+	idx := m.Index()
+	retireAndFree(t, tb, m, th)
+
+	token := tb.Pin(reader.Index()) // window opens after the grace stamp
+	defer tb.Unpin(token)
+
+	m2 := tb.Allocate()
+	if m2.Index() != idx {
+		t.Fatalf("allocation got index %d, want recycled %d (late pin must not block)", m2.Index(), idx)
+	}
+}
+
+// TestFallbackPinBlocksReclaim: when a thread's pin slot is occupied the
+// pin degrades to a global conservative count that stalls all reclaim.
+func TestFallbackPinBlocksReclaim(t *testing.T) {
+	tb := NewTable()
+	reg := threading.NewRegistry()
+	th := testThread(t, reg, "a")
+	r1 := testThread(t, reg, "r1")
+
+	tok1 := tb.Pin(r1.Index())
+	tok2 := tb.Pin(r1.Index()) // same slot: must fall back
+	if tok2 != -1 {
+		t.Fatalf("second pin on one slot returned token %d, want fallback -1", tok2)
+	}
+	tb.Unpin(tok1) // slot pin gone; only the fallback remains
+
+	m := tb.Allocate()
+	idx := m.Index()
+	retireAndFree(t, tb, m, th)
+	if m2 := tb.Allocate(); m2.Index() == idx {
+		t.Fatalf("index %d reused while a fallback pin is live", idx)
+	}
+
+	tb.Unpin(tok2)
+	if m3 := tb.Allocate(); m3.Index() != idx {
+		t.Fatalf("after fallback unpin, got index %d, want recycled %d", m3.Index(), idx)
+	}
+}
+
+// TestFreeUnretiredPanics: Free must refuse a monitor that has not been
+// retired — freeing a live monitor would recycle an index still bound.
+func TestFreeUnretiredPanics(t *testing.T) {
+	tb := NewTable()
+	m := tb.Allocate()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Free of an unretired monitor did not panic")
+		}
+	}()
+	tb.Free(m)
+}
+
+// TestConcurrentChurnKeepsSpanBounded hammers allocate/retire/free from
+// many goroutines and asserts the index space stays near the concurrency
+// level while cumulative allocations run far past it.
+func TestConcurrentChurnKeepsSpanBounded(t *testing.T) {
+	tb := NewTable()
+	reg := threading.NewRegistry()
+
+	workers := 8
+	rounds := 5000
+	if testing.Short() {
+		rounds = 500
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		th := testThread(t, reg, "w")
+		wg.Add(1)
+		go func(th *threading.Thread) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				m := tb.Allocate()
+				m.SeedOwner(th, 1)
+				if !m.Retire(th) {
+					t.Error("Retire failed on freshly owned monitor")
+					return
+				}
+				tb.Free(m)
+			}
+		}(th)
+	}
+	wg.Wait()
+
+	if got, want := tb.Len(), workers*rounds; got != want {
+		t.Errorf("Len = %d, want %d", got, want)
+	}
+	if tb.Live() != 0 {
+		t.Errorf("Live = %d, want 0 after all frees", tb.Live())
+	}
+	// Every worker holds at most one live index, plus slack for indices
+	// parked in limbo across a round boundary. 16x concurrency is a
+	// generous bound that a monotonic table (span == workers*rounds)
+	// misses by three orders of magnitude.
+	if bound := workers * 16; tb.Span() > bound {
+		t.Errorf("Span = %d after %d churn allocations, want <= %d (table must recycle)",
+			tb.Span(), workers*rounds, bound)
+	}
+	if tb.Recycled() == 0 {
+		t.Error("no allocation was ever served from the free list")
+	}
+}

@@ -121,6 +121,12 @@ const (
 	CtrBulkRebiases
 	// CtrBulkRevokes counts classes declared unbiasable (bulk revoke).
 	CtrBulkRevokes
+	// CtrMonitorFrees counts monitor indices returned to the table's
+	// recycler after deflation (compact-monitor extension).
+	CtrMonitorFrees
+	// CtrMonitorRecycles counts inflations served with a recycled
+	// monitor index instead of extending the table.
+	CtrMonitorRecycles
 
 	// NumCounters is the number of defined counters.
 	NumCounters
@@ -162,6 +168,8 @@ var counterNames = [NumCounters]string{
 	CtrBiasRevocationsOverflow:   "bias_revocations_overflow",
 	CtrBulkRebiases:              "bulk_rebiases",
 	CtrBulkRevokes:               "bulk_revokes",
+	CtrMonitorFrees:              "monitor_frees",
+	CtrMonitorRecycles:           "monitor_recycles",
 }
 
 // Name returns the counter's stable metric name.

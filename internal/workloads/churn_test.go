@@ -1,0 +1,89 @@
+package workloads
+
+import (
+	"testing"
+
+	"thinlock/internal/core"
+	"thinlock/internal/jcl"
+	"thinlock/internal/object"
+	"thinlock/internal/threading"
+)
+
+// runChurnOn runs the churn workload at the given size on l and returns
+// its checksum.
+func runChurnOn(t *testing.T, l *core.ThinLocks, size int) uint64 {
+	t.Helper()
+	w, ok := ByName("churn")
+	if !ok {
+		t.Fatal("churn workload not registered")
+	}
+	ctx := jcl.NewContext(l, object.NewHeap())
+	reg := threading.NewRegistry()
+	th, err := reg.Attach("w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w.Run(ctx, th, size)
+}
+
+// TestChurnBoundsMonitorTable is the workload-level memory-bound
+// assertion of the compact-monitor extension: after churning through
+// thousands of inflated-and-abandoned objects, the monitor table must
+// have deflated and recycled nearly all of them — its footprint stays
+// O(barriers in flight), and it fails if the table only ever grows.
+func TestChurnBoundsMonitorTable(t *testing.T) {
+	t.Parallel()
+	size := 40
+	if testing.Short() {
+		size = 8
+	}
+	l := core.New(core.Options{RecycleMonitors: true})
+	if sum := runChurnOn(t, l, size); sum == 0 {
+		t.Fatal("checksum is zero; workload may be degenerate")
+	}
+
+	s := l.Stats()
+	if s.Inflations() == 0 {
+		t.Fatal("churn inflated nothing; the workload exercised no monitors")
+	}
+	// Table must not only grow: deflations return indices to the
+	// recycler and later inflations reuse them.
+	if s.MonitorFrees == 0 {
+		t.Fatal("table only ever grew: no monitor index was freed")
+	}
+	if s.MonitorRecycles == 0 {
+		t.Fatal("table only ever grew: no freed index was reused")
+	}
+	// All abandoned generations have fully drained.
+	if s.LiveMonitors != 0 {
+		t.Fatalf("LiveMonitors = %d after run, want 0", s.LiveMonitors)
+	}
+	// Footprint bound: a two-party barrier keeps the workers within one
+	// rendezvous of each other, so only a handful of monitors ever
+	// coexist — while cumulative inflations number in the thousands.
+	const spanBound = 16
+	if s.TableSpan > spanBound {
+		t.Fatalf("TableSpan = %d, want <= %d (O(concurrently-held), not O(ever-inflated))",
+			s.TableSpan, spanBound)
+	}
+	if s.FatLocks <= spanBound {
+		t.Fatalf("FatLocks = %d; churn too small to demonstrate the bound", s.FatLocks)
+	}
+}
+
+// TestChurnGrowsTableWithoutRecycling pins the contrast the churn
+// workload exists to expose: without index recycling the table footprint
+// equals cumulative inflations.
+func TestChurnGrowsTableWithoutRecycling(t *testing.T) {
+	t.Parallel()
+	l := core.NewDefault()
+	runChurnOn(t, l, 4)
+	s := l.Stats()
+	if s.Inflations() == 0 {
+		t.Fatal("churn inflated nothing")
+	}
+	if s.TableSpan != s.FatLocks {
+		t.Fatalf("TableSpan = %d, FatLocks = %d; without recycling they must match",
+			s.TableSpan, s.FatLocks)
+	}
+}

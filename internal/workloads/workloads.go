@@ -155,6 +155,14 @@ func All() []Workload {
 			Concurrent:  true,
 			Run:         runAbba,
 		},
+		{
+			Name:        "churn",
+			Source:      "(this repository) monitor-lifecycle churn kernel",
+			Description: "2 workers inflate-and-abandon generations of short-lived objects (10M+ at default size); bounds the monitor table under deflation + index recycling",
+			DefaultSize: 500,
+			Concurrent:  true,
+			Run:         runChurn,
+		},
 	}
 }
 

@@ -29,8 +29,8 @@ func runOnce(t *testing.T, w Workload, l lockapi.Locker, size int) uint64 {
 func TestAllWorkloadsAreWellFormed(t *testing.T) {
 	t.Parallel()
 	suite := All()
-	if len(suite) != 15 {
-		t.Fatalf("suite has %d workloads, want 15", len(suite))
+	if len(suite) != 16 {
+		t.Fatalf("suite has %d workloads, want 16", len(suite))
 	}
 	seen := make(map[string]bool)
 	for _, w := range suite {
